@@ -1,0 +1,96 @@
+"""Table II — data trace statistics at full paper scale.
+
+Generates each synthetic trace at the paper's full report volume
+(553,609 / 253,798 / 429,019 reports) and prints the Table II row next
+to the paper's numbers.  The substitution target (DESIGN.md Section 3)
+is the *statistical regime*: report counts match exactly by
+construction, distinct-source counts must land within ~15% of the
+paper's (the near-one-report-per-source sparsity), and durations match.
+
+Set ``REPRO_TABLE2_FULL=0`` to skip the two larger traces on
+memory-constrained machines (the Paris trace always runs).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import pytest
+
+from repro.streams import (
+    GeneratorConfig,
+    boston_bombing,
+    college_football,
+    generate_trace,
+    paris_shooting,
+)
+
+from benchmarks.conftest import report_lines
+from benchmarks.paper_reference import TABLE2
+
+RUN_FULL = os.environ.get("REPRO_TABLE2_FULL", "1") != "0"
+
+SCENARIOS = [
+    pytest.param(paris_shooting, id="paris"),
+    pytest.param(
+        boston_bombing,
+        id="boston",
+        marks=pytest.mark.skipif(not RUN_FULL, reason="REPRO_TABLE2_FULL=0"),
+    ),
+    pytest.param(
+        college_football,
+        id="football",
+        marks=pytest.mark.skipif(not RUN_FULL, reason="REPRO_TABLE2_FULL=0"),
+    ),
+]
+
+_rows: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("factory", SCENARIOS)
+def test_full_scale_trace(benchmark, factory):
+    spec = factory()
+
+    def build():
+        # Text generation off: Table II is about volume statistics, and
+        # the full-size traces with text would hold ~1 GB of strings.
+        return generate_trace(
+            spec, seed=1, config=GeneratorConfig(with_text=False)
+        )
+
+    trace = benchmark.pedantic(build, rounds=1, iterations=1)
+    stats = trace.stats()
+    paper = TABLE2[spec.name]
+    _rows[spec.name] = {
+        "reports": stats.n_reports,
+        "sources": stats.n_sources,
+        "days": stats.duration_days,
+    }
+
+    assert stats.n_reports == paper["reports"]
+    assert abs(stats.n_sources - paper["sources"]) / paper["sources"] < 0.15
+    assert round(stats.duration_days) == paper["days"]
+    del trace
+    gc.collect()
+
+
+def test_print_table2(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("no traces generated")
+    lines = [
+        "Table II — Data Trace Statistics (measured / paper)",
+        f"{'Data Trace':<18} {'Duration(d)':>12} {'# Reports':>22} {'# Sources':>22}",
+    ]
+    for name, paper in TABLE2.items():
+        if name not in _rows:
+            lines.append(f"{name:<18} (skipped)")
+            continue
+        row = _rows[name]
+        lines.append(
+            f"{name:<18} {row['days']:>5.1f} / {paper['days']:<4} "
+            f"{row['reports']:>10,.0f} / {paper['reports']:<10,} "
+            f"{row['sources']:>10,.0f} / {paper['sources']:<10,}"
+        )
+    report_lines("table2_trace_statistics", lines)

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md Section 4).  Traces are generated once per session at a
+configurable scale (``REPRO_BENCH_SCALE``, default 0.05 — i.e. 5% of the
+paper's report volumes) so the whole suite stays laptop-friendly; the
+Table II benchmark always reports full-size statistics.
+
+Results are printed AND appended to ``benchmarks/results/<name>.txt`` so
+they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.streams import (
+    boston_bombing,
+    college_football,
+    generate_trace,
+    paris_shooting,
+)
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report_lines(name: str, lines: list[str]) -> None:
+    """Print result lines and persist them under benchmarks/results/."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def boston_trace():
+    return generate_trace(boston_bombing().scaled(BENCH_SCALE), seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def paris_trace():
+    return generate_trace(paris_shooting().scaled(BENCH_SCALE), seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def football_trace():
+    return generate_trace(
+        college_football().scaled(BENCH_SCALE), seed=BENCH_SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def all_traces(boston_trace, paris_trace, football_trace):
+    return {
+        "Boston Bombing": boston_trace,
+        "Paris Shooting": paris_trace,
+        "College Football": football_trace,
+    }

@@ -1,0 +1,53 @@
+"""The paper's reported numbers, for side-by-side comparison.
+
+Source: Tables II-V of Zhang et al., "Towards Scalable and Dynamic
+Social Sensing Using A Distributed Computing Framework", ICDCS 2017.
+Benchmarks print these next to the measured values; EXPERIMENTS.md
+records the comparison.  Absolute values are not expected to match (our
+traces are synthetic and our cluster is simulated); orderings and gaps
+are.
+"""
+
+# Table II — data trace statistics.
+TABLE2 = {
+    "Paris Shooting": {"reports": 253_798, "sources": 217_718, "days": 3},
+    "Boston Bombing": {"reports": 553_609, "sources": 493_855, "days": 4},
+    "College Football": {"reports": 429_019, "sources": 413_782, "days": 3},
+}
+
+# Tables III-V — (accuracy, precision, recall, F1) per method per trace.
+TABLE3_BOSTON = {
+    "SSTD": (0.828, 0.834, 0.831, 0.833),
+    "DynaTD": (0.722, 0.811, 0.756, 0.783),
+    "TruthFinder": (0.653, 0.689, 0.787, 0.734),
+    "RTD": (0.763, 0.748, 0.824, 0.784),
+    "CATD": (0.667, 0.764, 0.748, 0.751),
+    "Invest": (0.609, 0.639, 0.626, 0.632),
+    "3-Estimates": (0.616, 0.626, 0.807, 0.705),
+}
+
+TABLE4_PARIS = {
+    "SSTD": (0.802, 0.834, 0.905, 0.872),
+    "DynaTD": (0.731, 0.822, 0.788, 0.805),
+    "TruthFinder": (0.616, 0.653, 0.806, 0.721),
+    "RTD": (0.753, 0.791, 0.823, 0.807),
+    "CATD": (0.669, 0.689, 0.760, 0.723),
+    "Invest": (0.661, 0.722, 0.780, 0.750),
+    "3-Estimates": (0.647, 0.704, 0.765, 0.733),
+}
+
+TABLE5_FOOTBALL = {
+    "SSTD": (0.801, 0.661, 0.792, 0.723),
+    "DynaTD": (0.765, 0.471, 0.570, 0.515),
+    "TruthFinder": (0.612, 0.542, 0.455, 0.495),
+    "RTD": (0.752, 0.555, 0.649, 0.598),
+    "CATD": (0.736, 0.542, 0.764, 0.634),
+    "Invest": (0.722, 0.478, 0.716, 0.574),
+    "3-Estimates": (0.674, 0.396, 0.677, 0.501),
+}
+
+PAPER_TABLES = {
+    "Boston Bombing": TABLE3_BOSTON,
+    "Paris Shooting": TABLE4_PARIS,
+    "College Football": TABLE5_FOOTBALL,
+}

@@ -1,0 +1,6 @@
+"""Setup shim: lets `pip install -e .` work on environments whose
+setuptools predates PEP 660 wheel-less editable installs."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Heuristic baselines: majority voting and median.
+
+The paper (Section II) cites Majority Voting and Median as the "very fast
+but low accuracy" end of the truth discovery spectrum; they anchor the
+accuracy comparison and the efficiency figures.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Mapping, Sequence
+
+from repro.baselines.base import (
+    BatchTruthDiscovery,
+    positive_fraction_decision,
+    source_claim_votes,
+)
+from repro.core.types import Report, TruthValue
+
+
+class MajorityVote(BatchTruthDiscovery):
+    """One vote per (source, claim); majority sign wins."""
+
+    name = "MajorityVote"
+
+    def estimate_claims(
+        self, reports: Sequence[Report]
+    ) -> Mapping[str, tuple[TruthValue, float]]:
+        votes = source_claim_votes(reports)
+        totals: dict[str, int] = collections.defaultdict(int)
+        counts: dict[str, int] = collections.defaultdict(int)
+        for (_, claim_id), vote in votes.items():
+            totals[claim_id] += vote
+            counts[claim_id] += 1
+        decisions = {}
+        for claim_id, total in totals.items():
+            value = positive_fraction_decision(total)
+            confidence = abs(total) / counts[claim_id] if counts[claim_id] else 0.0
+            decisions[claim_id] = (value, confidence)
+        return decisions
+
+
+class MedianVote(BatchTruthDiscovery):
+    """Median of per-report attitudes (report-weighted, not source-weighted).
+
+    Differs from :class:`MajorityVote` on traces where a few prolific
+    sources dominate the report volume.
+    """
+
+    name = "Median"
+
+    def estimate_claims(
+        self, reports: Sequence[Report]
+    ) -> Mapping[str, tuple[TruthValue, float]]:
+        attitudes: dict[str, list[int]] = collections.defaultdict(list)
+        for report in reports:
+            if report.attitude:
+                attitudes[report.claim_id].append(int(report.attitude))
+        decisions = {}
+        for claim_id, values in attitudes.items():
+            values.sort()
+            mid = len(values) // 2
+            if len(values) % 2:
+                median = float(values[mid])
+            else:
+                median = (values[mid - 1] + values[mid]) / 2.0
+            decisions[claim_id] = (
+                positive_fraction_decision(median),
+                min(1.0, abs(median)),
+            )
+        return decisions

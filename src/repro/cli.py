@@ -1,0 +1,239 @@
+"""Command-line interface for the SSTD reproduction.
+
+Subcommands mirror the workflows of the examples and benchmarks:
+
+- ``repro-cli generate`` — synthesize a scenario trace to a JSONL file;
+- ``repro-cli discover`` — run a truth-discovery algorithm over a trace
+  and print (or save) the per-claim verdicts;
+- ``repro-cli evaluate`` — compare one or more algorithms against the
+  trace's ground truth and print the paper-style metrics table;
+- ``repro-cli stats`` — print a trace's Table-II-style statistics;
+- ``repro-cli replay`` — stream a trace through the streaming engine at
+  a chosen rate and report flips as they are detected.
+
+Install the package and run ``python -m repro.cli --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.baselines import EvaluationGrid, make_algorithm
+from repro.baselines.registry import ALGORITHM_FACTORIES, PAPER_TABLE_METHODS
+from repro.core import evaluate_estimates, format_results_table
+from repro.core.types import TruthValue
+from repro.streams import SCENARIOS, StreamReplayer, Trace, generate_trace
+from repro.streams.generator import GeneratorConfig
+
+
+def _add_generate(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="synthesize a scenario trace to JSONL"
+    )
+    parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    parser.add_argument("output", type=Path, help="output .jsonl path")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's full volume")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--no-text", action="store_true",
+                        help="skip tweet text (smaller, faster)")
+    parser.set_defaults(func=_run_generate)
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    spec = SCENARIOS[args.scenario]()
+    if args.scale != 1.0:
+        spec = spec.scaled(args.scale)
+    trace = generate_trace(
+        spec, seed=args.seed,
+        config=GeneratorConfig(with_text=not args.no_text),
+    )
+    trace.save(args.output)
+    stats = trace.stats()
+    print(
+        f"wrote {args.output}: {stats.n_reports:,} reports, "
+        f"{stats.n_sources:,} sources, {stats.n_claims} claims"
+    )
+    return 0
+
+
+def _add_discover(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "discover", help="run truth discovery over a trace"
+    )
+    parser.add_argument("trace", type=Path, help="trace .jsonl path")
+    parser.add_argument("--method", default="SSTD",
+                        choices=sorted(ALGORITHM_FACTORIES))
+    parser.add_argument("--step", type=float, default=1800.0,
+                        help="evaluation grid step in seconds")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="claims to print (0 = all)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also save estimates as JSONL")
+    parser.set_defaults(func=_run_discover)
+
+
+def _run_discover(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    if not trace.reports:
+        print("trace has no reports", file=sys.stderr)
+        return 1
+    grid = EvaluationGrid(trace.start, trace.end, step=args.step)
+    algorithm = make_algorithm(args.method)
+    estimates = algorithm.discover(trace.reports, grid)
+    if args.output is not None:
+        from repro.core import save_estimates
+
+        count = save_estimates(estimates, args.output)
+        print(f"saved {count} estimates to {args.output}")
+
+    final: dict[str, TruthValue] = {}
+    flips: dict[str, int] = {}
+    previous: dict[str, TruthValue] = {}
+    for estimate in estimates:
+        if estimate.claim_id in previous and (
+            previous[estimate.claim_id] != estimate.value
+        ):
+            flips[estimate.claim_id] = flips.get(estimate.claim_id, 0) + 1
+        previous[estimate.claim_id] = estimate.value
+        final[estimate.claim_id] = estimate.value
+
+    print(f"{args.method}: {len(final)} claims decoded")
+    shown = sorted(final)
+    if args.limit:
+        shown = shown[: args.limit]
+    for claim_id in shown:
+        text = trace.claims[claim_id].text if claim_id in trace.claims else ""
+        print(
+            f"  {claim_id:<14} {final[claim_id].name:<6} "
+            f"flips={flips.get(claim_id, 0):<3} {text[:48]}"
+        )
+    if args.limit and len(final) > args.limit:
+        print(f"  ... and {len(final) - args.limit} more")
+    return 0
+
+
+def _add_evaluate(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "evaluate", help="score algorithms against a trace's ground truth"
+    )
+    parser.add_argument("trace", type=Path)
+    parser.add_argument(
+        "--methods", nargs="+", default=list(PAPER_TABLE_METHODS),
+        choices=sorted(ALGORITHM_FACTORIES),
+    )
+    parser.add_argument("--step", type=float, default=1800.0)
+    parser.set_defaults(func=_run_evaluate)
+
+
+def _run_evaluate(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    if not trace.timelines:
+        print("trace has no ground-truth timelines", file=sys.stderr)
+        return 1
+    grid = EvaluationGrid(trace.start, trace.end, step=args.step)
+    results = []
+    for method in args.methods:
+        algorithm = make_algorithm(method)
+        estimates = algorithm.discover(trace.reports, grid)
+        results.append(
+            evaluate_estimates(method, estimates, trace.timelines)
+        )
+    print(format_results_table(results, title=f"Results — {trace.name}"))
+    return 0
+
+
+def _add_stats(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "stats", help="print Table-II-style statistics of a trace"
+    )
+    parser.add_argument("trace", type=Path)
+    parser.set_defaults(func=_run_stats)
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    stats = trace.stats()
+    for key, value in stats.as_row().items():
+        print(f"{key:>22}: {value}")
+    transitions = sum(
+        len(t.transition_times()) for t in trace.timelines.values()
+    )
+    print(f"{'truth transitions':>22}: {transitions}")
+    retweets = sum(1 for r in trace.reports if r.is_retweet)
+    print(f"{'retweets':>22}: {retweets}")
+    from repro.streams import validate_trace
+
+    validation = validate_trace(trace)
+    print(f"{'validation':>22}: {validation.summary()}")
+    return 0 if validation.ok else 1
+
+
+def _add_replay(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "replay", help="stream a trace through StreamingSSTD"
+    )
+    parser.add_argument("trace", type=Path)
+    parser.add_argument("--speed", type=float, default=200.0,
+                        help="reports per second")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="replay seconds")
+    parser.set_defaults(func=_run_replay)
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from repro.core import SSTDConfig, StreamingSSTD
+    from repro.core.acs import ACSConfig
+
+    trace = Trace.load(args.trace)
+    replayer = StreamReplayer(trace, speed=args.speed, duration=args.duration)
+    engine = StreamingSSTD(
+        SSTDConfig(acs=ACSConfig(window=6.0, step=2.0), min_observations=4),
+        retrain_every=10,
+    )
+    current: dict[str, TruthValue] = {}
+    n_flips = 0
+    for batch in replayer.batches():
+        for report in batch.reports:
+            engine.push(report)
+        for estimate in engine.tick(batch.arrival_time):
+            old = current.get(estimate.claim_id)
+            if old is not None and old != estimate.value:
+                n_flips += 1
+                print(
+                    f"t={batch.arrival_time:6.1f}s  {estimate.claim_id} "
+                    f"-> {estimate.value.name}"
+                )
+            current[estimate.claim_id] = estimate.value
+    print(
+        f"replayed {replayer.total_reports():,} reports; "
+        f"{len(current)} claims tracked, {n_flips} live flips"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="SSTD reproduction command-line tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_discover(subparsers)
+    _add_evaluate(subparsers)
+    _add_stats(subparsers)
+    _add_replay(subparsers)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Feedback control: PID controller, WCET model, control knobs."""
+
+from repro.control.knobs import GlobalControlKnob, KnobConfig, LocalControlKnob
+from repro.control.pid import PAPER_GAINS, PIDController, PIDGains
+from repro.control.rto import Allocation, JobDemand, RTOAllocator
+from repro.control.wcet import WCETModel
+
+__all__ = [
+    "GlobalControlKnob",
+    "KnobConfig",
+    "LocalControlKnob",
+    "PAPER_GAINS",
+    "PIDController",
+    "PIDGains",
+    "Allocation",
+    "JobDemand",
+    "RTOAllocator",
+    "WCETModel",
+]

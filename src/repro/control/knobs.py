@@ -1,0 +1,136 @@
+"""Control knobs: the actuators the PID signals drive (Section IV-C2).
+
+- :class:`LocalControlKnob` (LCK): one per TD job; maps a control signal
+  into a multiplicative priority adjustment, bounded so no job can
+  starve the pool.
+- :class:`GlobalControlKnob` (GCK): one per system; aggregates per-job
+  pressure into a worker-pool size target.
+
+The paper tunes the knob aggressiveness with heuristic constants
+``theta_3`` and ``theta_4`` (reported as 2 and 1.5); the same names are
+kept here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class KnobConfig:
+    """Aggressiveness and bounds of the control knobs.
+
+    Attributes:
+        theta3: LCK gain: how strongly a control signal scales priority.
+        theta4: GCK gain: how strongly aggregate lateness adds workers.
+        min_priority: Floor so starved jobs keep making progress.
+        max_priority: Ceiling so one job cannot monopolize dispatch.
+    """
+
+    theta3: float = 2.0
+    theta4: float = 1.5
+    min_priority: float = 0.05
+    max_priority: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.theta3 <= 0 or self.theta4 <= 0:
+            raise ValueError("theta3 and theta4 must be > 0")
+        if not 0 < self.min_priority <= self.max_priority:
+            raise ValueError("need 0 < min_priority <= max_priority")
+
+
+class LocalControlKnob:
+    """Per-job priority actuator.
+
+    A *negative* PID signal means the job is projected to miss its
+    deadline (measured time above setpoint), so priority must increase;
+    a positive signal relaxes it.  The update is multiplicative in the
+    signal's magnitude, clamped into the configured range.
+    """
+
+    def __init__(self, job_id: str, config: KnobConfig | None = None) -> None:
+        self.job_id = job_id
+        self.config = config or KnobConfig()
+        self.priority = 1.0
+
+    def apply(self, control_signal: float, reference: float = 1.0) -> float:
+        """Update priority from a control signal; returns the new value.
+
+        Args:
+            control_signal: PID output, in seconds of (projected) slack
+                (positive) or lateness (negative).
+            reference: Time scale that normalizes the signal (typically
+                the deadline), so tuning is deadline-independent.
+        """
+        if reference <= 0:
+            raise ValueError("reference must be > 0")
+        pressure = -control_signal / reference  # >0 when late
+        factor = 1.0 + self.config.theta3 * pressure
+        # A job can shrink at most 50% per update but can grow by the
+        # full theta3-scaled pressure (reacting to lateness fast matters
+        # more than decaying politely).
+        factor = max(factor, 0.5)
+        self.priority = float(
+            min(
+                max(self.priority * factor, self.config.min_priority),
+                self.config.max_priority,
+            )
+        )
+        return self.priority
+
+
+class GlobalControlKnob:
+    """Worker-pool size actuator.
+
+    Aggregates the per-job pressures: when the total projected lateness
+    across jobs is positive the pool grows proportionally (theta_4);
+    shrinking is deliberately sluggish — only after ``shrink_patience``
+    consecutive all-comfortable samples, one worker at a time — because
+    scaling up is urgent while scaling down too eagerly makes the pool
+    thrash on bursty traffic and miss the next spike's deadlines.
+    """
+
+    def __init__(
+        self, config: KnobConfig | None = None, shrink_patience: int = 5
+    ) -> None:
+        if shrink_patience < 1:
+            raise ValueError("shrink_patience must be >= 1")
+        self.config = config or KnobConfig()
+        self.shrink_patience = shrink_patience
+        self._comfortable_streak = 0
+
+    def target_size(
+        self,
+        current_size: int,
+        control_signals: dict[str, float],
+        reference: float = 1.0,
+    ) -> int:
+        """Compute the new worker-pool target.
+
+        Args:
+            current_size: Current worker count.
+            control_signals: PID output per job (negative = late).
+            reference: Normalizing time scale (typical deadline).
+        """
+        if current_size < 0:
+            raise ValueError("current_size must be >= 0")
+        if reference <= 0:
+            raise ValueError("reference must be > 0")
+        if not control_signals:
+            return current_size
+        lateness = sum(
+            max(0.0, -signal) / reference for signal in control_signals.values()
+        )
+        if lateness > 0:
+            self._comfortable_streak = 0
+            grow = max(1, round(self.config.theta4 * lateness))
+            return current_size + grow
+        slack = min(control_signals.values()) / reference
+        if slack > 0.5 and current_size > 1:
+            self._comfortable_streak += 1
+            if self._comfortable_streak >= self.shrink_patience:
+                self._comfortable_streak = 0
+                return current_size - 1
+        else:
+            self._comfortable_streak = 0
+        return current_size

@@ -1,0 +1,107 @@
+"""PID feedback controller (paper Section IV-C3, Eq. (9)).
+
+    y(k) = Kp * e(k) + Ki * sum(e) * dt + Kd * (e(k) - e(k-1)) / dt
+
+The SSTD deployment runs one controller per TD job: the *setpoint* is
+the job's deadline, the *process variable* is its (projected) execution
+time, and the control signal drives the Local Control Knob (priority)
+and, aggregated across jobs, the Global Control Knob (worker count).
+
+The implementation adds two standard practical guards the paper's
+production system would need anyway: an integral clamp (anti-windup) and
+an optional output clamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PIDGains:
+    """Controller coefficients; the paper tunes these to (1.2, 0.3, 0.2)."""
+
+    kp: float = 1.2
+    ki: float = 0.3
+    kd: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("PID gains must be >= 0")
+
+
+#: The coefficients the paper reports after its tuning sweep (Section V-A3).
+PAPER_GAINS = PIDGains(kp=1.2, ki=0.3, kd=0.2)
+
+
+class PIDController:
+    """Discrete PID controller with anti-windup.
+
+    Args:
+        gains: Proportional / integral / derivative coefficients.
+        sample_time: Nominal spacing of updates in seconds (the paper
+            samples at 1 Hz).
+        integral_limit: Clamp on |integral| (anti-windup); 0 disables.
+        output_limit: Clamp on |output|; 0 disables.
+    """
+
+    def __init__(
+        self,
+        gains: PIDGains = PAPER_GAINS,
+        sample_time: float = 1.0,
+        integral_limit: float = 100.0,
+        output_limit: float = 0.0,
+    ) -> None:
+        if sample_time <= 0:
+            raise ValueError("sample_time must be > 0")
+        if integral_limit < 0 or output_limit < 0:
+            raise ValueError("limits must be >= 0")
+        self.gains = gains
+        self.sample_time = sample_time
+        self.integral_limit = integral_limit
+        self.output_limit = output_limit
+        self.reset()
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._last_error: float | None = None
+        self.last_output = 0.0
+
+    def update(self, error: float, dt: float | None = None) -> float:
+        """Advance the controller one sample; returns the control signal.
+
+        Args:
+            error: Setpoint minus measurement.  Positive means the
+                measured execution time is still below the deadline.
+            dt: Actual elapsed time since the previous sample; defaults
+                to the nominal ``sample_time``.
+        """
+        if dt is None:
+            dt = self.sample_time
+        if dt <= 0:
+            raise ValueError("dt must be > 0")
+
+        self._integral += error * dt
+        if self.integral_limit:
+            self._integral = min(
+                max(self._integral, -self.integral_limit), self.integral_limit
+            )
+
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = (error - self._last_error) / dt
+        self._last_error = error
+
+        output = (
+            self.gains.kp * error
+            + self.gains.ki * self._integral
+            + self.gains.kd * derivative
+        )
+        if self.output_limit:
+            output = min(max(output, -self.output_limit), self.output_limit)
+        self.last_output = output
+        return output
+
+    @property
+    def integral(self) -> float:
+        return self._integral

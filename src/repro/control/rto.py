@@ -1,0 +1,227 @@
+"""Real-Time Optimization of worker/priority allocation (paper §VII).
+
+The paper's third future-work item: "We plan to explore real-time
+optimization (RTO) techniques to optimize resource allocation based on
+control signals.  Specifically, we are planning to formulate the system
+optimization as an integer linear programming (ILP) problem that targets
+at finding the optimal integer values for the number of workers and the
+number of tasks for each job in real time."
+
+This module implements that formulation.  Using the simplified WCET
+model (Eq. (12)), job ``u`` with data ``D_u`` and priority share
+``P_u = T_u / sum(T)`` finishes in ``D_u * theta2 / (WK * P_u)``.
+Substituting the share turns the deadline constraint into a *linear*
+constraint in the task counts ``T_u`` once the worker count ``WK`` is
+fixed:
+
+    D_u * theta2 * sum(T) <= deadline_u * WK * T_u
+
+The optimizer therefore searches the (small, integer) range of worker
+counts; for each ``WK`` it solves the inner problem exactly:
+feasibility of the linear system above has a classic structure — divide
+both sides by ``sum(T)`` and the constraint becomes a *lower bound on
+each job's share*, so a feasible assignment exists iff the required
+shares sum to at most 1.  Integer task counts are then recovered with
+largest-remainder rounding and verified.  The result is the cheapest
+(fewest workers) allocation meeting every deadline, plus a graceful
+fallback (minimize maximum lateness) when no allocation can.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.control.wcet import WCETModel
+
+
+@dataclass(frozen=True, slots=True)
+class JobDemand:
+    """One TD job's inputs to the allocation problem."""
+
+    job_id: str
+    data_size: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if self.data_size < 0:
+            raise ValueError("data_size must be >= 0")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be > 0")
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """Solver output: worker count plus integer task counts per job."""
+
+    n_workers: int
+    task_counts: dict[str, int]
+    feasible: bool
+    max_lateness: float
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(self.task_counts.values())
+
+    def priority_share(self, job_id: str) -> float:
+        total = self.total_tasks
+        return self.task_counts[job_id] / total if total else 0.0
+
+
+class RTOAllocator:
+    """Deadline-feasible allocation of workers and task counts.
+
+    Args:
+        wcet: Execution-time model supplying ``theta2``.
+        max_workers: Actuator ceiling (cluster capacity).
+        max_tasks_per_job: Cap on task splitting (the paper keeps task
+            counts small to bound initialization overhead).
+    """
+
+    def __init__(
+        self,
+        wcet: WCETModel,
+        max_workers: int = 64,
+        max_tasks_per_job: int = 16,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_tasks_per_job < 1:
+            raise ValueError("max_tasks_per_job must be >= 1")
+        self.wcet = wcet
+        self.max_workers = max_workers
+        self.max_tasks_per_job = max_tasks_per_job
+
+    # ------------------------------------------------------------------
+    # Inner problem: shares for a fixed worker count
+    # ------------------------------------------------------------------
+    def required_shares(
+        self, jobs: Sequence[JobDemand], n_workers: int
+    ) -> dict[str, float]:
+        """Minimum priority share each job needs to meet its deadline."""
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        shares = {}
+        for job in jobs:
+            shares[job.job_id] = (
+                job.data_size * self.wcet.theta2 / (n_workers * job.deadline)
+            )
+        return shares
+
+    def feasible_with(self, jobs: Sequence[JobDemand], n_workers: int) -> bool:
+        """Whether some share assignment meets every deadline."""
+        return sum(self.required_shares(jobs, n_workers).values()) <= 1.0 + 1e-12
+
+    def _round_task_counts(
+        self, shares: dict[str, float]
+    ) -> dict[str, int]:
+        """Integer task counts approximating the target shares.
+
+        Largest-remainder rounding over ``max_tasks_per_job * n_jobs``
+        virtual slots; every job keeps at least one task.
+        """
+        jobs = list(shares)
+        budget = self.max_tasks_per_job * len(jobs)
+        raw = {j: max(shares[j], 0.0) * budget for j in jobs}
+        counts = {j: max(1, math.floor(raw[j])) for j in jobs}
+        remaining = budget - sum(counts.values())
+        if remaining > 0:
+            by_remainder = sorted(
+                jobs, key=lambda j: raw[j] - math.floor(raw[j]), reverse=True
+            )
+            for j in by_remainder:
+                if remaining == 0:
+                    break
+                if counts[j] < self.max_tasks_per_job:
+                    counts[j] += 1
+                    remaining -= 1
+        return {
+            j: min(count, self.max_tasks_per_job)
+            for j, count in counts.items()
+        }
+
+    def _max_lateness(
+        self, jobs: Sequence[JobDemand], counts: dict[str, int], n_workers: int
+    ) -> float:
+        total = sum(counts.values())
+        worst = 0.0
+        for job in jobs:
+            share = counts[job.job_id] / total if total else 0.0
+            if share <= 0:
+                return math.inf
+            finish = self.wcet.job_wcet_simplified(
+                job.data_size, share, n_workers
+            )
+            worst = max(worst, finish - job.deadline)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Outer problem: minimum worker count
+    # ------------------------------------------------------------------
+    def solve(self, jobs: Sequence[JobDemand]) -> Allocation:
+        """Cheapest allocation meeting all deadlines.
+
+        Binary-searches the smallest feasible worker count (feasibility
+        is monotone in ``WK``), derives the share targets, rounds to
+        integer task counts, and verifies the rounded solution; when the
+        rounding breaks a deadline the worker count is bumped until it
+        holds.  If even ``max_workers`` is infeasible, returns the
+        allocation minimizing the maximum lateness at full capacity.
+        """
+        if not jobs:
+            raise ValueError("need at least one job")
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids")
+
+        lo, hi = 1, self.max_workers
+        best: int | None = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self.feasible_with(jobs, mid):
+                best = mid
+                hi = mid - 1
+            else:
+                lo = mid + 1
+
+        if best is None:
+            # Infeasible even at capacity: proportional-to-demand shares
+            # minimize the maximum relative lateness.
+            shares = self.required_shares(jobs, self.max_workers)
+            total = sum(shares.values())
+            normalized = {j: s / total for j, s in shares.items()}
+            counts = self._round_task_counts(normalized)
+            return Allocation(
+                n_workers=self.max_workers,
+                task_counts=counts,
+                feasible=False,
+                max_lateness=self._max_lateness(jobs, counts, self.max_workers),
+            )
+
+        for workers in range(best, self.max_workers + 1):
+            shares = self.required_shares(jobs, workers)
+            slack = 1.0 - sum(shares.values())
+            # Spread slack proportionally so rounding has headroom.
+            n = len(jobs)
+            padded = {j: s + slack / n for j, s in shares.items()}
+            counts = self._round_task_counts(padded)
+            lateness = self._max_lateness(jobs, counts, workers)
+            if lateness <= 1e-9:
+                return Allocation(
+                    n_workers=workers,
+                    task_counts=counts,
+                    feasible=True,
+                    max_lateness=lateness,
+                )
+        counts = self._round_task_counts(
+            self.required_shares(jobs, self.max_workers)
+        )
+        return Allocation(
+            n_workers=self.max_workers,
+            task_counts=counts,
+            feasible=False,
+            max_lateness=self._max_lateness(jobs, counts, self.max_workers),
+        )

@@ -1,0 +1,63 @@
+"""Serialization of truth estimates (JSONL).
+
+Deployments archive their verdict streams; benchmarks cache expensive
+runs.  One record per line keeps files streamable and diff-able.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.types import TruthEstimate, TruthValue
+
+
+def save_estimates(
+    estimates: Iterable[TruthEstimate], path: str | Path
+) -> int:
+    """Write estimates as JSON-lines; returns the record count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for estimate in estimates:
+            fh.write(
+                json.dumps(
+                    {
+                        "claim_id": estimate.claim_id,
+                        "timestamp": estimate.timestamp,
+                        "value": int(estimate.value),
+                        "confidence": estimate.confidence,
+                    }
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def iter_estimates(path: str | Path) -> Iterator[TruthEstimate]:
+    """Stream estimates back from a JSONL file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        for line_number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield TruthEstimate(
+                    claim_id=record["claim_id"],
+                    timestamp=float(record["timestamp"]),
+                    value=TruthValue(int(record["value"])),
+                    confidence=float(record.get("confidence", 1.0)),
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed estimate record"
+                ) from exc
+
+
+def load_estimates(path: str | Path) -> list[TruthEstimate]:
+    """Read a whole estimates file into memory."""
+    return list(iter_estimates(path))

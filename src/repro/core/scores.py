@@ -1,0 +1,78 @@
+"""Contribution-score computation (paper Section II, Eq. (1)).
+
+A report's *contribution score* combines three semantic components:
+
+    CS = attitude * (1 - uncertainty) * independence
+
+- *attitude* (Definition 1) is ``+1`` / ``-1`` / ``0`` for agree /
+  disagree / no position;
+- *uncertainty* (Definition 2) in ``[0, 1)`` measures hedging ("possible
+  shooting", "unconfirmed");
+- *independence* (Definition 3) in ``(0, 1]`` down-weights copied reports
+  (retweets, near-duplicates).
+
+The contribution score is the quantity the SSTD HMM aggregates into its
+observation sequence; the classes here also let ablation benchmarks switch
+individual components off (experiment A2 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.types import Report
+
+
+def contribution_score(report: Report) -> float:
+    """Contribution score of a single report, Eq. (1) of the paper."""
+    return report.contribution_score
+
+
+@dataclass(frozen=True, slots=True)
+class ScoreWeights:
+    """Toggles for the components of the contribution score.
+
+    Used by ablation experiments: with ``use_uncertainty=False`` the
+    ``(1 - kappa)`` factor is replaced by 1, and with
+    ``use_independence=False`` the ``eta`` factor is replaced by 1.
+    The attitude factor cannot be disabled because without it a report
+    carries no signal at all.
+    """
+
+    use_uncertainty: bool = True
+    use_independence: bool = True
+
+    def score(self, report: Report) -> float:
+        """Contribution score of ``report`` under these toggles."""
+        value = float(report.attitude)
+        if self.use_uncertainty:
+            value *= 1.0 - report.uncertainty
+        if self.use_independence:
+            value *= report.independence
+        return value
+
+
+FULL_WEIGHTS = ScoreWeights()
+ATTITUDE_ONLY = ScoreWeights(use_uncertainty=False, use_independence=False)
+
+
+def total_contribution(
+    reports: Iterable[Report], weights: ScoreWeights = FULL_WEIGHTS
+) -> float:
+    """Sum of contribution scores over ``reports``."""
+    return sum(weights.score(report) for report in reports)
+
+
+def normalized_support(
+    reports: Sequence[Report], weights: ScoreWeights = FULL_WEIGHTS
+) -> float:
+    """Average contribution per report, in ``[-1, 1]``.
+
+    Useful as a size-independent signal: ``+1`` means unanimous confident
+    independent agreement, ``-1`` unanimous confident denial, ``0`` either
+    no reports or perfectly balanced evidence.
+    """
+    if not reports:
+        return 0.0
+    return total_contribution(reports, weights) / len(reports)

@@ -1,0 +1,423 @@
+"""SSTD: the HMM-based dynamic truth discovery engine (paper Section III).
+
+For every claim ``Cu`` the engine
+
+1. turns the claim's report stream into an Aggregated Contribution Score
+   observation sequence ``F(u)`` on a regular time grid (Section III-B);
+2. trains a 2-state Gaussian-emission HMM on ``F(u)`` with unsupervised
+   Baum-Welch EM (Section III-C, Eq. (5));
+3. decodes the most likely hidden truth sequence with Viterbi
+   (Section III-D, Eq. (6)-(8)) — or with forward filtering when
+   estimates must be emitted online before the sequence completes;
+4. maps each hidden state to TRUE when its emission mean is positive:
+   the contribution score of a report is signed by its attitude, so
+   aggregated evidence above zero means the crowd (weighted by
+   confidence and independence) asserts the claim.  When both states
+   land on the same side of zero the claim's truth simply never flipped
+   — the model is *not* forced to invent a transition.
+
+Claims decompose independently (Section III-E) — the model never looks
+at per-source reliability across claims, only at each claim's ACS —
+which is exactly what makes SSTD parallelizable: each claim becomes one
+Truth Discovery job in the distributed framework (:mod:`repro.system`).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.acs import ACSConfig, SlidingWindowACS, acs_sequence
+from repro.core.types import Report, TruthEstimate, TruthValue
+from repro.hmm.gaussian import GaussianHMM
+
+
+@dataclass(frozen=True, slots=True)
+class SSTDConfig:
+    """Configuration of the SSTD engine.
+
+    Attributes:
+        acs: Sliding-window / grid configuration for the observation
+            sequence (window size ``sw`` of paper Eq. (4)).
+        em_max_iter: Baum-Welch iteration cap.
+        em_tol: Baum-Welch convergence tolerance on log-likelihood.
+        min_observations: Non-empty grid points required before an HMM is
+            trained; shorter sequences fall back to the ACS sign rule.
+        sticky_prior: Initial self-transition probability of the truth
+            chain.  Truth changes are rare relative to the observation
+            grid, so a sticky prior (close to 1) regularizes EM away from
+            rapid oscillation on noisy data.
+        decode_online: When True, estimates use forward filtering (only
+            past observations); when False, full Viterbi smoothing.
+        seed: Seed for EM emission initialization.
+    """
+
+    acs: ACSConfig = field(default_factory=ACSConfig)
+    em_max_iter: int = 30
+    em_tol: float = 1e-3
+    min_observations: int = 6
+    sticky_prior: float = 0.98
+    decode_online: bool = False
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.em_max_iter < 1:
+            raise ValueError("em_max_iter must be >= 1")
+        if self.min_observations < 2:
+            raise ValueError("min_observations must be >= 2")
+        if not 0.5 <= self.sticky_prior < 1.0:
+            raise ValueError(
+                f"sticky_prior must be in [0.5, 1), got {self.sticky_prior}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimDecodeResult:
+    """Decoded truth sequence of one claim."""
+
+    claim_id: str
+    times: np.ndarray
+    values: tuple[TruthValue, ...]
+    estimates: tuple[TruthEstimate, ...]
+    used_hmm: bool
+
+
+def _sign_fallback(
+    claim_id: str, times: np.ndarray, acs_values: np.ndarray
+) -> ClaimDecodeResult:
+    """Threshold decoding for claims too short/degenerate for an HMM.
+
+    Positive aggregated evidence reads as TRUE.  Windows with no
+    evidence (NaN or exactly zero ACS) keep the previous decision,
+    defaulting to FALSE before any evidence arrives — the absence of
+    confirmations is treated as the claim not (yet) being true.
+    """
+    values: list[TruthValue] = []
+    current = TruthValue.FALSE
+    for value in acs_values:
+        if not math.isnan(value):
+            if value > 0:
+                current = TruthValue.TRUE
+            elif value < 0:
+                current = TruthValue.FALSE
+        values.append(current)
+    estimates = tuple(
+        TruthEstimate(claim_id=claim_id, timestamp=float(t), value=v)
+        for t, v in zip(times, values)
+    )
+    return ClaimDecodeResult(
+        claim_id=claim_id,
+        times=times,
+        values=tuple(values),
+        estimates=estimates,
+        used_hmm=False,
+    )
+
+
+def states_to_truth(hmm: GaussianHMM, states: np.ndarray) -> list[TruthValue]:
+    """Map decoded hidden states to truth values by emission-mean sign."""
+    state_truth = [
+        TruthValue.TRUE if mean > 0 else TruthValue.FALSE for mean in hmm.means
+    ]
+    return [state_truth[s] for s in states]
+
+
+class ClaimTruthModel:
+    """Per-claim HMM wrapper: train on an ACS sequence, decode truth."""
+
+    def __init__(self, claim_id: str, config: SSTDConfig) -> None:
+        self.claim_id = claim_id
+        self.config = config
+        self.hmm: GaussianHMM | None = None
+
+    def _build_hmm(self) -> GaussianHMM:
+        p = self.config.sticky_prior
+        transmat = np.array([[p, 1.0 - p], [1.0 - p, p]])
+        return GaussianHMM(n_states=2, transmat=transmat)
+
+    def fit_decode(
+        self, times: np.ndarray, acs_values: np.ndarray
+    ) -> ClaimDecodeResult:
+        """Train the claim HMM and decode its truth sequence.
+
+        Falls back to the ACS sign rule when the sequence has too few
+        informative windows or no variation for EM to separate states.
+        """
+        if times.size != acs_values.size:
+            raise ValueError(
+                f"times ({times.size}) and ACS ({acs_values.size}) differ"
+            )
+        if times.size == 0:
+            return ClaimDecodeResult(
+                claim_id=self.claim_id,
+                times=times,
+                values=(),
+                estimates=(),
+                used_hmm=False,
+            )
+        informative = acs_values[~np.isnan(acs_values)]
+        degenerate = (
+            informative.size < self.config.min_observations
+            or float(np.ptp(informative)) < 1e-9
+        )
+        if degenerate:
+            return _sign_fallback(self.claim_id, times, acs_values)
+
+        hmm = self._build_hmm()
+        hmm.fit(
+            acs_values,
+            max_iter=self.config.em_max_iter,
+            tol=self.config.em_tol,
+            rng=self.config.seed,
+        )
+        self.hmm = hmm
+
+        if self.config.decode_online:
+            states = hmm.filter_states(acs_values)
+        else:
+            states, _ = hmm.decode(acs_values)
+        posteriors = hmm.state_posteriors(acs_values)
+
+        values = tuple(states_to_truth(hmm, states))
+        estimates = tuple(
+            TruthEstimate(
+                claim_id=self.claim_id,
+                timestamp=float(t),
+                value=v,
+                confidence=float(posteriors[k, states[k]]),
+            )
+            for k, (t, v) in enumerate(zip(times, values))
+        )
+        return ClaimDecodeResult(
+            claim_id=self.claim_id,
+            times=times,
+            values=values,
+            estimates=estimates,
+            used_hmm=True,
+        )
+
+
+class SSTD:
+    """Batch API: run SSTD truth discovery over a set of reports.
+
+    This is the single-process entry point; the distributed deployment
+    (:class:`repro.system.sstd_system.DistributedSSTD`) runs one
+    :class:`ClaimTruthModel` per claim as a Work Queue job but produces
+    identical estimates.
+
+    Example:
+        >>> engine = SSTD()
+        >>> estimates = engine.discover(reports)        # doctest: +SKIP
+    """
+
+    name = "SSTD"
+
+    def __init__(self, config: SSTDConfig | None = None) -> None:
+        self.config = config or SSTDConfig()
+        self.results: dict[str, ClaimDecodeResult] = {}
+
+    def group_reports(
+        self, reports: Iterable[Report]
+    ) -> dict[str, list[Report]]:
+        """Partition reports by claim — the unit of distribution."""
+        grouped: dict[str, list[Report]] = collections.defaultdict(list)
+        for report in reports:
+            grouped[report.claim_id].append(report)
+        return dict(grouped)
+
+    def discover_claim(
+        self,
+        claim_id: str,
+        reports: Sequence[Report],
+        start: float | None = None,
+        end: float | None = None,
+    ) -> ClaimDecodeResult:
+        """Run the full SSTD pipeline for a single claim."""
+        times, values = acs_sequence(
+            reports, self.config.acs, start=start, end=end
+        )
+        model = ClaimTruthModel(claim_id, self.config)
+        result = model.fit_decode(times, values)
+        self.results[claim_id] = result
+        return result
+
+    def discover(
+        self,
+        reports: Iterable[Report],
+        start: float | None = None,
+        end: float | None = None,
+    ) -> list[TruthEstimate]:
+        """Run SSTD over all claims in ``reports``; returns all estimates."""
+        grouped = self.group_reports(reports)
+        estimates: list[TruthEstimate] = []
+        for claim_id in sorted(grouped):
+            result = self.discover_claim(
+                claim_id, grouped[claim_id], start=start, end=end
+            )
+            estimates.extend(result.estimates)
+        return estimates
+
+
+class StreamingSSTD:
+    """Streaming API: push reports, poll truth estimates as time advances.
+
+    Maintains one sliding-window ACS accumulator per claim and an
+    observation buffer; every ``retrain_every`` grid ticks the per-claim
+    HMM is re-trained (warm-started from its current parameters, a few
+    EM iterations) on the buffered sequence and the state re-decoded.
+    Between retrains, each tick advances an *incremental* forward filter
+    — one normalized alpha update — so the steady-state cost is O(1) per
+    claim per tick and O(1) per pushed report.
+    """
+
+    name = "SSTD"
+
+    def __init__(
+        self,
+        config: SSTDConfig | None = None,
+        retrain_every: int = 20,
+        max_buffer: int = 360,
+        retrain_max_iter: int = 15,
+    ) -> None:
+        if retrain_every < 1:
+            raise ValueError("retrain_every must be >= 1")
+        if retrain_max_iter < 1:
+            raise ValueError("retrain_max_iter must be >= 1")
+        config = config or SSTDConfig()
+        # Retrains run on every scheduled tick, so they use a tighter EM
+        # budget than a one-shot batch fit; quantile re-initialization
+        # converges in a handful of iterations on the bounded buffer.
+        self.config = dataclasses.replace(
+            config, em_max_iter=min(config.em_max_iter, retrain_max_iter)
+        )
+        self.retrain_every = retrain_every
+        self.max_buffer = max_buffer
+        self._windows: dict[str, SlidingWindowACS] = {}
+        self._times: dict[str, list[float]] = collections.defaultdict(list)
+        self._values: dict[str, list[float]] = collections.defaultdict(list)
+        self._models: dict[str, ClaimTruthModel] = {}
+        self._latest: dict[str, TruthEstimate] = {}
+        self._ticks: dict[str, int] = collections.defaultdict(int)
+        self._alphas: dict[str, np.ndarray] = {}
+
+    @property
+    def claim_ids(self) -> list[str]:
+        return sorted(self._windows)
+
+    def push(self, report: Report) -> None:
+        """Ingest one report (timestamps non-decreasing per claim)."""
+        window = self._windows.get(report.claim_id)
+        if window is None:
+            window = SlidingWindowACS(
+                self.config.acs.window,
+                self.config.acs.weights,
+                normalize=self.config.acs.normalize,
+                empty_is_missing=self.config.acs.empty_is_missing,
+            )
+            self._windows[report.claim_id] = window
+            self._models[report.claim_id] = ClaimTruthModel(
+                report.claim_id, self.config
+            )
+        window.push(report)
+
+    def tick(self, now: float) -> list[TruthEstimate]:
+        """Advance the observation grid to ``now`` for every claim.
+
+        Appends one ACS observation per claim, retrains/decodes as
+        scheduled, and returns the current truth estimate of every claim.
+        """
+        estimates: list[TruthEstimate] = []
+        for claim_id in self.claim_ids:
+            estimate = self._tick_claim(claim_id, now)
+            if estimate is not None:
+                estimates.append(estimate)
+        return estimates
+
+    def _tick_claim(self, claim_id: str, now: float) -> TruthEstimate | None:
+        value = self._windows[claim_id].value_at(now)
+        times = self._times[claim_id]
+        values = self._values[claim_id]
+        times.append(now)
+        values.append(value)
+        if len(times) > self.max_buffer:
+            # Trim in blocks so the amortized cost per tick stays O(1).
+            drop = max(1, self.max_buffer // 5)
+            del times[:drop]
+            del values[:drop]
+        self._ticks[claim_id] += 1
+
+        model = self._models[claim_id]
+        retrain_due = self._ticks[claim_id] % self.retrain_every == 0
+        informative = sum(1 for v in values if not math.isnan(v))
+        enough = informative >= self.config.min_observations
+
+        if retrain_due and enough:
+            result = self._retrain(model, times, values)
+            estimate = result.estimates[-1] if result.estimates else None
+            if model.hmm is not None:
+                # Re-seed the incremental filter from the fresh fit.
+                alpha, _, _ = model.hmm._forward(
+                    model.hmm._emission_probabilities(np.asarray(values))
+                )
+                self._alphas[claim_id] = alpha[-1]
+        elif model.hmm is not None:
+            alpha = self._advance_filter(claim_id, model.hmm, value)
+            state = int(np.argmax(alpha))
+            truth = states_to_truth(model.hmm, np.array([state]))[0]
+            estimate = TruthEstimate(
+                claim_id=claim_id, timestamp=now, value=truth
+            )
+        else:
+            # Cold start: sign rule on the newest informative ACS value.
+            previous = self._latest.get(claim_id)
+            if not math.isnan(value):
+                truth = TruthValue.TRUE if value > 0 else TruthValue.FALSE
+            elif previous is not None:
+                truth = previous.value
+            else:
+                truth = TruthValue.FALSE
+            estimate = TruthEstimate(
+                claim_id=claim_id, timestamp=now, value=truth
+            )
+        if estimate is not None:
+            self._latest[claim_id] = estimate
+        return estimate
+
+    def _retrain(
+        self, model: ClaimTruthModel, times: list[float], values: list[float]
+    ) -> ClaimDecodeResult:
+        """Refit the claim HMM on the (bounded) buffer and re-decode.
+
+        The fit re-initializes emission parameters from the buffer's
+        quantiles: a stale model after a truth transition would otherwise
+        take many EM rounds to drag its means across zero.
+        """
+        return model.fit_decode(np.asarray(times), np.asarray(values))
+
+    def _advance_filter(
+        self, claim_id: str, hmm: GaussianHMM, observation: float
+    ) -> np.ndarray:
+        """One normalized forward-filter step (O(1) per tick)."""
+        alpha = self._alphas.get(claim_id)
+        if alpha is None:
+            alpha = hmm.startprob.copy()
+        emission = hmm._emission_probabilities(
+            np.asarray([observation])
+        )[0]
+        alpha = (alpha @ hmm.transmat) * emission
+        total = alpha.sum()
+        if total <= 0:
+            alpha = np.full(hmm.n_states, 1.0 / hmm.n_states)
+        else:
+            alpha = alpha / total
+        self._alphas[claim_id] = alpha
+        return alpha
+
+    def latest(self) -> Mapping[str, TruthEstimate]:
+        """Most recent estimate per claim."""
+        return dict(self._latest)

@@ -1,0 +1,35 @@
+"""From-scratch Hidden Markov Model library (SSTD inference substrate).
+
+Public surface:
+
+- :class:`~repro.hmm.base.BaseHMM` -- scaled forward-backward, Viterbi
+  decoding, Baum-Welch EM training.
+- :class:`~repro.hmm.discrete.DiscreteHMM` -- categorical emissions.
+- :class:`~repro.hmm.gaussian.GaussianHMM` -- univariate Gaussian
+  emissions (used by SSTD on ACS sequences).
+"""
+
+from repro.hmm.base import BaseHMM, FitResult
+from repro.hmm.discrete import DiscreteHMM
+from repro.hmm.gaussian import GaussianHMM
+from repro.hmm.selection import (
+    SelectionEntry,
+    SelectionResult,
+    aic,
+    bic,
+    n_parameters,
+    select_n_states,
+)
+
+__all__ = [
+    "BaseHMM",
+    "DiscreteHMM",
+    "FitResult",
+    "GaussianHMM",
+    "SelectionEntry",
+    "SelectionResult",
+    "aic",
+    "bic",
+    "n_parameters",
+    "select_n_states",
+]

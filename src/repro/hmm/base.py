@@ -1,0 +1,352 @@
+"""Hidden Markov Model core: scaled forward-backward, Viterbi, Baum-Welch.
+
+This is the inference substrate for SSTD's dynamic truth discovery (paper
+Section III).  The implementation follows Rabiner's classic tutorial:
+
+- the *forward-backward* recursions use per-step scaling so sequences of
+  tens of thousands of observations do not underflow;
+- *Viterbi* runs in log space (Eq. (7)-(8) of the paper);
+- *Baum-Welch* is the unsupervised EM procedure the paper cites (Baum
+  1970) for Eq. (5); emission updates are delegated to subclasses so the
+  same loop trains discrete and Gaussian emission models.
+
+Subclasses implement :meth:`_emission_probabilities` (B matrix evaluated
+on a concrete observation sequence) and :meth:`_update_emissions` (M-step
+for the emission parameters).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hmm.utils import (
+    PROB_FLOOR,
+    log_mask_zero,
+    normalize_rows,
+    normalize_vector,
+    validate_distribution,
+    validate_stochastic_matrix,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FitResult:
+    """Outcome of a Baum-Welch run."""
+
+    log_likelihoods: tuple[float, ...]
+    converged: bool
+    iterations: int
+
+    @property
+    def final_log_likelihood(self) -> float:
+        return self.log_likelihoods[-1]
+
+
+class BaseHMM(abc.ABC):
+    """Abstract HMM over ``n_states`` hidden states.
+
+    Parameters (paper Section III-C): transition matrix ``A``
+    (``transmat``), initial distribution ``pi`` (``startprob``), and the
+    emission model ``B`` supplied by the subclass.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        startprob: np.ndarray | None = None,
+        transmat: np.ndarray | None = None,
+    ) -> None:
+        if n_states < 1:
+            raise ValueError(f"n_states must be >= 1, got {n_states}")
+        self.n_states = n_states
+        if startprob is None:
+            startprob = np.full(n_states, 1.0 / n_states)
+        if transmat is None:
+            transmat = np.full((n_states, n_states), 1.0 / n_states)
+        self.startprob = validate_distribution(startprob, "startprob")
+        self.transmat = validate_stochastic_matrix(transmat, "transmat")
+        if self.startprob.size != n_states or self.transmat.shape[0] != n_states:
+            raise ValueError("parameter shapes do not match n_states")
+
+    # ------------------------------------------------------------------
+    # Emission interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _emission_probabilities(self, observations: np.ndarray) -> np.ndarray:
+        """Emission likelihoods, shape ``(T, n_states)``.
+
+        Entry ``[t, i]`` is ``P(obs[t] | state i)`` — the ``b_{u,i,t}`` of
+        the paper.  May contain densities > 1 for continuous emissions.
+        """
+
+    @abc.abstractmethod
+    def _update_emissions(
+        self, observations: np.ndarray, gamma: np.ndarray
+    ) -> None:
+        """M-step for the emission parameters given state posteriors."""
+
+    @abc.abstractmethod
+    def _init_emissions(
+        self, observations: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Initialize emission parameters from data before EM."""
+
+    def _validate_observations(self, observations: np.ndarray) -> np.ndarray:
+        observations = np.asarray(observations)
+        if observations.shape[0] == 0:
+            raise ValueError("observation sequence is empty")
+        return observations
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _forward(
+        self, emissions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Scaled forward pass.
+
+        Returns ``(alpha, scales, log_likelihood)`` where ``alpha[t]`` is
+        the scaled forward vector and ``scales[t]`` the per-step
+        normalizer; ``sum(log(scales))`` is the sequence log-likelihood.
+        """
+        length = emissions.shape[0]
+        alpha = np.empty((length, self.n_states))
+        scales = np.empty(length)
+        alpha[0] = self.startprob * emissions[0]
+        scales[0] = alpha[0].sum()
+        if scales[0] == 0:
+            # Impossible first observation under the model; floor so the
+            # recursion can continue (log-likelihood becomes very small).
+            alpha[0] = np.full(self.n_states, 1.0 / self.n_states)
+            scales[0] = PROB_FLOOR
+        else:
+            alpha[0] /= scales[0]
+        for t in range(1, length):
+            alpha[t] = (alpha[t - 1] @ self.transmat) * emissions[t]
+            scales[t] = alpha[t].sum()
+            if scales[t] == 0:
+                alpha[t] = np.full(self.n_states, 1.0 / self.n_states)
+                scales[t] = PROB_FLOOR
+            else:
+                alpha[t] /= scales[t]
+        return alpha, scales, float(np.log(scales).sum())
+
+    def _backward(self, emissions: np.ndarray, scales: np.ndarray) -> np.ndarray:
+        """Scaled backward pass matching :meth:`_forward`'s scaling."""
+        length = emissions.shape[0]
+        beta = np.empty((length, self.n_states))
+        beta[-1] = 1.0
+        for t in range(length - 2, -1, -1):
+            beta[t] = self.transmat @ (emissions[t + 1] * beta[t + 1])
+            beta[t] /= scales[t + 1]
+        return beta
+
+    def log_likelihood(self, observations: np.ndarray) -> float:
+        """Log P(observations | model)."""
+        observations = self._validate_observations(observations)
+        emissions = self._emission_probabilities(observations)
+        _, _, logprob = self._forward(emissions)
+        return logprob
+
+    def state_posteriors(self, observations: np.ndarray) -> np.ndarray:
+        """Posterior P(state_t = i | observations), shape ``(T, n)``."""
+        observations = self._validate_observations(observations)
+        emissions = self._emission_probabilities(observations)
+        alpha, scales, _ = self._forward(emissions)
+        beta = self._backward(emissions, scales)
+        gamma = alpha * beta
+        return normalize_rows(gamma)
+
+    def decode(self, observations: np.ndarray) -> tuple[np.ndarray, float]:
+        """Viterbi decoding (paper Eq. (6)-(8)).
+
+        Returns ``(states, log_joint)``: the most probable hidden-state
+        sequence and its joint log-probability with the observations.
+        """
+        observations = self._validate_observations(observations)
+        emissions = self._emission_probabilities(observations)
+        log_emissions = log_mask_zero(np.maximum(emissions, 0.0))
+        log_trans = log_mask_zero(self.transmat)
+        log_start = log_mask_zero(self.startprob)
+        length = emissions.shape[0]
+
+        delta = np.empty((length, self.n_states))
+        backpointer = np.zeros((length, self.n_states), dtype=int)
+        delta[0] = log_start + log_emissions[0]
+        for t in range(1, length):
+            # candidates[i, j] = delta[t-1, i] + log A[i, j]
+            candidates = delta[t - 1][:, None] + log_trans
+            backpointer[t] = np.argmax(candidates, axis=0)
+            delta[t] = candidates[backpointer[t], np.arange(self.n_states)]
+            delta[t] += log_emissions[t]
+
+        states = np.empty(length, dtype=int)
+        states[-1] = int(np.argmax(delta[-1]))
+        for t in range(length - 2, -1, -1):
+            states[t] = backpointer[t + 1, states[t + 1]]
+        return states, float(delta[-1, states[-1]])
+
+    def filter_states(self, observations: np.ndarray) -> np.ndarray:
+        """Online (filtering) state estimates: argmax_i alpha_t(i).
+
+        Unlike Viterbi this uses only observations up to ``t`` for the
+        estimate at ``t``, which is what a streaming deployment reports
+        before the sequence is complete.
+        """
+        observations = self._validate_observations(observations)
+        emissions = self._emission_probabilities(observations)
+        alpha, _, _ = self._forward(emissions)
+        return np.argmax(alpha, axis=1)
+
+    # ------------------------------------------------------------------
+    # Training (Baum-Welch)
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        observations: np.ndarray,
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        rng: np.random.Generator | int | None = None,
+        init: bool = True,
+    ) -> FitResult:
+        """Unsupervised EM training on a single observation sequence.
+
+        Args:
+            observations: The sequence ``F(u)`` (paper Eq. (5)).
+            max_iter: Maximum EM iterations.
+            tol: Convergence threshold on the log-likelihood improvement.
+            rng: Seed or generator for emission initialization.
+            init: When False, EM starts from the current parameters
+                (useful for incremental re-training on streams).
+
+        Returns:
+            A :class:`FitResult` with the log-likelihood trajectory.
+        """
+        observations = self._validate_observations(observations)
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        if init:
+            self._init_emissions(observations, rng)
+
+        history: list[float] = []
+        converged = False
+        for _ in range(max_iter):
+            emissions = self._emission_probabilities(observations)
+            alpha, scales, logprob = self._forward(emissions)
+            beta = self._backward(emissions, scales)
+            gamma = normalize_rows(alpha * beta)
+
+            # xi[t, i, j] proportional to alpha_t(i) A_ij b_j(o_{t+1}) beta_{t+1}(j)
+            length = emissions.shape[0]
+            if length > 1:
+                xi_num = (
+                    alpha[:-1, :, None]
+                    * self.transmat[None, :, :]
+                    * (emissions[1:] * beta[1:])[:, None, :]
+                )
+                xi_sum = xi_num.sum(axis=0)
+            else:
+                xi_sum = np.zeros((self.n_states, self.n_states))
+
+            # M-step
+            self.startprob = normalize_vector(gamma[0] + PROB_FLOOR)
+            self.transmat = normalize_rows(xi_sum + PROB_FLOOR)
+            self._update_emissions(observations, gamma)
+
+            history.append(logprob)
+            if len(history) > 1 and abs(history[-1] - history[-2]) < tol:
+                converged = True
+                break
+        return FitResult(
+            log_likelihoods=tuple(history),
+            converged=converged,
+            iterations=len(history),
+        )
+
+    def fit_sequences(
+        self,
+        sequences: list[np.ndarray],
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        rng: np.random.Generator | int | None = None,
+        init: bool = True,
+    ) -> FitResult:
+        """Baum-Welch over multiple independent observation sequences.
+
+        The E-step statistics (initial-state counts, transition counts,
+        emission sufficient statistics) accumulate across sequences;
+        the M-step is shared.  Used to train one truth-dynamics model
+        across many claims of the same event class.
+        """
+        if not sequences:
+            raise ValueError("need at least one sequence")
+        validated = [self._validate_observations(obs) for obs in sequences]
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        if init:
+            self._init_emissions(np.concatenate(validated), rng)
+
+        history: list[float] = []
+        converged = False
+        for _ in range(max_iter):
+            start_acc = np.zeros(self.n_states)
+            xi_acc = np.zeros((self.n_states, self.n_states))
+            gammas: list[np.ndarray] = []
+            total_logprob = 0.0
+            for observations in validated:
+                emissions = self._emission_probabilities(observations)
+                alpha, scales, logprob = self._forward(emissions)
+                beta = self._backward(emissions, scales)
+                gamma = normalize_rows(alpha * beta)
+                total_logprob += logprob
+                start_acc += gamma[0]
+                if emissions.shape[0] > 1:
+                    xi_acc += (
+                        alpha[:-1, :, None]
+                        * self.transmat[None, :, :]
+                        * (emissions[1:] * beta[1:])[:, None, :]
+                    ).sum(axis=0)
+                gammas.append(gamma)
+
+            self.startprob = normalize_vector(start_acc + PROB_FLOOR)
+            self.transmat = normalize_rows(xi_acc + PROB_FLOOR)
+            # Emission M-step over the concatenated statistics: rows are
+            # independent in both emission families, so concatenation is
+            # exact.
+            self._update_emissions(
+                np.concatenate(validated), np.concatenate(gammas, axis=0)
+            )
+
+            history.append(total_logprob)
+            if len(history) > 1 and abs(history[-1] - history[-2]) < tol:
+                converged = True
+                break
+        return FitResult(
+            log_likelihoods=tuple(history),
+            converged=converged,
+            iterations=len(history),
+        )
+
+    def sample(
+        self, length: int, rng: np.random.Generator | int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Generate ``(states, observations)`` from the model."""
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        states = np.empty(length, dtype=int)
+        states[0] = rng.choice(self.n_states, p=self.startprob)
+        for t in range(1, length):
+            states[t] = rng.choice(self.n_states, p=self.transmat[states[t - 1]])
+        observations = self._sample_emissions(states, rng)
+        return states, observations
+
+    @abc.abstractmethod
+    def _sample_emissions(
+        self, states: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one observation per hidden state in ``states``."""

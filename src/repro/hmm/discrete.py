@@ -1,0 +1,82 @@
+"""HMM with categorical (discrete symbol) emissions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmm.base import BaseHMM
+from repro.hmm.utils import PROB_FLOOR, normalize_rows
+
+
+class DiscreteHMM(BaseHMM):
+    """HMM whose observations are symbols in ``{0 .. n_symbols - 1}``.
+
+    The emission matrix ``emissionprob`` has shape
+    ``(n_states, n_symbols)`` with rows summing to one.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_symbols: int,
+        startprob: np.ndarray | None = None,
+        transmat: np.ndarray | None = None,
+        emissionprob: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(n_states, startprob=startprob, transmat=transmat)
+        if n_symbols < 1:
+            raise ValueError(f"n_symbols must be >= 1, got {n_symbols}")
+        self.n_symbols = n_symbols
+        if emissionprob is None:
+            emissionprob = np.full((n_states, n_symbols), 1.0 / n_symbols)
+        emissionprob = np.asarray(emissionprob, dtype=float)
+        if emissionprob.shape != (n_states, n_symbols):
+            raise ValueError(
+                f"emissionprob must have shape {(n_states, n_symbols)}, "
+                f"got {emissionprob.shape}"
+            )
+        if (emissionprob < 0).any() or not np.allclose(
+            emissionprob.sum(axis=1), 1.0, atol=1e-6
+        ):
+            raise ValueError("emissionprob rows must be distributions")
+        self.emissionprob = emissionprob
+
+    def _validate_observations(self, observations: np.ndarray) -> np.ndarray:
+        observations = np.asarray(observations, dtype=int)
+        observations = super()._validate_observations(observations)
+        if observations.min() < 0 or observations.max() >= self.n_symbols:
+            raise ValueError(
+                f"symbols must be in [0, {self.n_symbols}), "
+                f"got range [{observations.min()}, {observations.max()}]"
+            )
+        return observations
+
+    def _emission_probabilities(self, observations: np.ndarray) -> np.ndarray:
+        return self.emissionprob[:, observations].T
+
+    def _update_emissions(
+        self, observations: np.ndarray, gamma: np.ndarray
+    ) -> None:
+        counts = np.zeros((self.n_states, self.n_symbols))
+        for symbol in range(self.n_symbols):
+            mask = observations == symbol
+            if mask.any():
+                counts[:, symbol] = gamma[mask].sum(axis=0)
+        self.emissionprob = normalize_rows(counts + PROB_FLOOR)
+
+    def _init_emissions(
+        self, observations: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        # Start from the empirical symbol distribution with per-state
+        # random perturbation so EM can break state symmetry.
+        empirical = np.bincount(observations, minlength=self.n_symbols).astype(float)
+        empirical = (empirical + 1.0) / (empirical.sum() + self.n_symbols)
+        noise = rng.uniform(0.5, 1.5, size=(self.n_states, self.n_symbols))
+        self.emissionprob = normalize_rows(empirical[None, :] * noise)
+
+    def _sample_emissions(
+        self, states: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.array(
+            [rng.choice(self.n_symbols, p=self.emissionprob[s]) for s in states]
+        )

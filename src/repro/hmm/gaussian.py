@@ -1,0 +1,136 @@
+"""HMM with univariate Gaussian emissions and missing-data support.
+
+This is the emission model SSTD uses for truth decoding: the observation
+at each grid point is a real-valued Aggregated Contribution Score, and
+each hidden truth value (TRUE / FALSE) emits ACS values around a
+state-specific mean (positive when the claim is true and sources confirm
+it, negative when reliable sources debunk it).
+
+Sliding windows with *no* reports carry no evidence either way; such
+grid points are encoded as ``NaN`` and treated as missing: their
+emission likelihood is 1 for every state, so decoding bridges them using
+only the (sticky) transition structure.  This matters a lot on sparse
+social sensing data where most windows of a long-tail claim are empty.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hmm.base import BaseHMM
+
+#: Variance floor preventing EM from collapsing a state onto one point.
+MIN_VARIANCE = 1e-3
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+class GaussianHMM(BaseHMM):
+    """HMM whose per-state emission is ``Normal(means[i], variances[i])``."""
+
+    def __init__(
+        self,
+        n_states: int,
+        startprob: np.ndarray | None = None,
+        transmat: np.ndarray | None = None,
+        means: np.ndarray | None = None,
+        variances: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(n_states, startprob=startprob, transmat=transmat)
+        if means is None:
+            means = np.zeros(n_states)
+        if variances is None:
+            variances = np.ones(n_states)
+        means = np.asarray(means, dtype=float)
+        variances = np.asarray(variances, dtype=float)
+        if means.shape != (n_states,) or variances.shape != (n_states,):
+            raise ValueError(
+                f"means and variances must have shape ({n_states},), got "
+                f"{means.shape} and {variances.shape}"
+            )
+        if (variances <= 0).any():
+            raise ValueError("variances must be strictly positive")
+        self.means = means
+        self.variances = variances
+
+    def _validate_observations(self, observations: np.ndarray) -> np.ndarray:
+        observations = np.asarray(observations, dtype=float)
+        observations = super()._validate_observations(observations)
+        if observations.ndim != 1:
+            raise ValueError(
+                f"observations must be 1-D, got shape {observations.shape}"
+            )
+        if np.isinf(observations).any():
+            raise ValueError("observations must not be infinite")
+        return observations
+
+    def _emission_probabilities(self, observations: np.ndarray) -> np.ndarray:
+        # densities[t, i] = N(obs[t]; mean_i, var_i); missing rows (NaN
+        # observations) get likelihood 1 for every state.
+        missing = np.isnan(observations)
+        filled = np.where(missing, 0.0, observations)
+        diff = filled[:, None] - self.means[None, :]
+        log_density = -0.5 * (
+            _LOG_2PI + np.log(self.variances)[None, :] + diff**2 / self.variances
+        )
+        densities = np.exp(log_density)
+        densities[missing] = 1.0
+        return densities
+
+    def _update_emissions(
+        self, observations: np.ndarray, gamma: np.ndarray
+    ) -> None:
+        # Missing observations contribute nothing to the emission M-step.
+        present = ~np.isnan(observations)
+        gamma = gamma[present]
+        observations = observations[present]
+        if observations.size == 0:
+            return
+        weights = gamma.sum(axis=0)
+        safe = np.where(weights > 0, weights, 1.0)
+        means = (gamma * observations[:, None]).sum(axis=0) / safe
+        diff = observations[:, None] - means[None, :]
+        variances = (gamma * diff**2).sum(axis=0) / safe
+        # States with no posterior mass keep their previous parameters.
+        keep = weights <= 0
+        means[keep] = self.means[keep]
+        variances[keep] = self.variances[keep]
+        self.means = means
+        self.variances = np.maximum(variances, MIN_VARIANCE)
+
+    def _init_emissions(
+        self, observations: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Spread initial means over the observation quantiles.
+
+        Quantile initialization is deterministic given the data and keeps
+        the states ordered by mean, which downstream code exploits when
+        mapping states to truth values; a small jitter breaks ties on
+        degenerate (constant) sequences.
+        """
+        observations = observations[~np.isnan(observations)]
+        if observations.size == 0:
+            raise ValueError("cannot initialize from all-missing observations")
+        quantiles = np.linspace(0.0, 1.0, self.n_states + 2)[1:-1]
+        self.means = np.quantile(observations, quantiles)
+        spread = float(np.var(observations))
+        if spread < MIN_VARIANCE:
+            spread = 1.0
+            self.means = self.means + rng.normal(0.0, 0.1, size=self.n_states)
+        self.variances = np.full(self.n_states, max(spread, MIN_VARIANCE))
+
+    def _sample_emissions(
+        self, states: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.normal(self.means[states], np.sqrt(self.variances[states]))
+
+    def state_order_by_mean(self) -> np.ndarray:
+        """State indices sorted by emission mean, ascending.
+
+        SSTD maps the state with the highest ACS mean to TRUE: a true
+        claim accumulates positive contribution scores, so the
+        high-mean state corresponds to the claim being true.
+        """
+        return np.argsort(self.means)

@@ -1,0 +1,114 @@
+"""HMM model selection: information criteria over the state count.
+
+The paper fixes two hidden states because claims are binary (§II); a
+release should let users *verify* that choice on their own data.  This
+module scores fitted models with AIC/BIC and fits a sweep of state
+counts, reporting which the data supports.
+
+Parameter counts: an ``n``-state model has ``n - 1`` free initial
+probabilities, ``n * (n - 1)`` free transition probabilities, and the
+emission parameters (``n * (m - 1)`` for ``m`` symbols, ``2n`` for
+univariate Gaussians).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.hmm.base import BaseHMM
+from repro.hmm.discrete import DiscreteHMM
+from repro.hmm.gaussian import GaussianHMM
+
+
+def n_parameters(hmm: BaseHMM) -> int:
+    """Free parameters of a fitted model."""
+    n = hmm.n_states
+    count = (n - 1) + n * (n - 1)
+    if isinstance(hmm, DiscreteHMM):
+        count += n * (hmm.n_symbols - 1)
+    elif isinstance(hmm, GaussianHMM):
+        count += 2 * n
+    else:  # pragma: no cover - future emission families
+        raise TypeError(f"unknown emission family: {type(hmm).__name__}")
+    return count
+
+
+def aic(hmm: BaseHMM, observations: np.ndarray) -> float:
+    """Akaike information criterion (lower is better)."""
+    return 2.0 * n_parameters(hmm) - 2.0 * hmm.log_likelihood(observations)
+
+
+def bic(hmm: BaseHMM, observations: np.ndarray) -> float:
+    """Bayesian information criterion (lower is better)."""
+    length = np.asarray(observations).shape[0]
+    return (
+        n_parameters(hmm) * math.log(max(length, 1))
+        - 2.0 * hmm.log_likelihood(observations)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionEntry:
+    """One candidate in a state-count sweep."""
+
+    n_states: int
+    log_likelihood: float
+    aic: float
+    bic: float
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionResult:
+    """Outcome of :func:`select_n_states`."""
+
+    entries: tuple[SelectionEntry, ...]
+
+    @property
+    def best_by_aic(self) -> int:
+        return min(self.entries, key=lambda e: e.aic).n_states
+
+    @property
+    def best_by_bic(self) -> int:
+        return min(self.entries, key=lambda e: e.bic).n_states
+
+
+def select_n_states(
+    observations: np.ndarray,
+    candidates: Sequence[int] = (1, 2, 3, 4),
+    factory: Callable[[int], BaseHMM] | None = None,
+    max_iter: int = 40,
+    seed: int = 0,
+) -> SelectionResult:
+    """Fit each candidate state count and score it.
+
+    Args:
+        observations: One observation sequence.
+        candidates: State counts to try.
+        factory: ``n_states -> model``; defaults to a GaussianHMM (the
+            SSTD emission family).
+        max_iter: Baum-Welch iterations per candidate.
+        seed: EM initialization seed.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate state count")
+    if factory is None:
+        factory = GaussianHMM
+    entries = []
+    for n_states in candidates:
+        if n_states < 1:
+            raise ValueError("state counts must be >= 1")
+        model = factory(n_states)
+        model.fit(observations, max_iter=max_iter, rng=seed)
+        entries.append(
+            SelectionEntry(
+                n_states=n_states,
+                log_likelihood=model.log_likelihood(observations),
+                aic=aic(model, observations),
+                bic=bic(model, observations),
+            )
+        )
+    return SelectionResult(entries=tuple(entries))

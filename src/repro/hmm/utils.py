@@ -1,0 +1,61 @@
+"""Numeric helpers shared by the HMM implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Floor used to keep probabilities strictly positive during EM.
+PROB_FLOOR = 1e-12
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Normalize each row of ``matrix`` to sum to 1.
+
+    Rows that sum to zero become uniform distributions (this happens in
+    Baum-Welch when a state receives no expected visits).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    sums = matrix.sum(axis=-1, keepdims=True)
+    n = matrix.shape[-1]
+    out = np.where(sums > 0, matrix / np.where(sums > 0, sums, 1.0), 1.0 / n)
+    return out
+
+
+def normalize_vector(vector: np.ndarray) -> np.ndarray:
+    """Normalize a vector to sum to 1; zero vectors become uniform."""
+    vector = np.asarray(vector, dtype=float)
+    total = vector.sum()
+    if total > 0:
+        return vector / total
+    return np.full(vector.shape, 1.0 / vector.size)
+
+
+def validate_stochastic_matrix(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Check that ``matrix`` is square, non-negative and row-stochastic."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got {matrix.shape}")
+    if (matrix < 0).any():
+        raise ValueError(f"{name} must be non-negative")
+    if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-6):
+        raise ValueError(f"{name} rows must sum to 1, got {matrix.sum(axis=1)}")
+    return matrix
+
+
+def validate_distribution(vector: np.ndarray, name: str) -> np.ndarray:
+    """Check that ``vector`` is a probability distribution."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {vector.shape}")
+    if (vector < 0).any():
+        raise ValueError(f"{name} must be non-negative")
+    if not np.isclose(vector.sum(), 1.0, atol=1e-6):
+        raise ValueError(f"{name} must sum to 1, got {vector.sum()}")
+    return vector
+
+
+def log_mask_zero(values: np.ndarray) -> np.ndarray:
+    """Elementwise log with ``log(0) = -inf`` and no warnings."""
+    values = np.asarray(values, dtype=float)
+    with np.errstate(divide="ignore"):
+        return np.log(values)

@@ -1,0 +1,49 @@
+"""Synthetic social sensing streams: scenarios, generator, traffic, replay."""
+
+from repro.streams.crawler import CrawlBatch, SimulatedCrawler
+from repro.streams.events import (
+    SCENARIOS,
+    ScenarioSpec,
+    boston_bombing,
+    college_football,
+    osu_attack,
+    paris_shooting,
+)
+from repro.streams.generator import GeneratorConfig, generate_trace
+from repro.streams.replay import StreamBatch, StreamReplayer
+from repro.streams.sources import PopulationConfig, SourcePopulation
+from repro.streams.trace import Trace, TraceStats, merge_traces
+from repro.streams.traffic import Burst, TrafficModel, bursts_at_transitions
+from repro.streams.validation import (
+    ValidationIssue,
+    ValidationReport,
+    assert_valid,
+    validate_trace,
+)
+
+__all__ = [
+    "Burst",
+    "CrawlBatch",
+    "GeneratorConfig",
+    "PopulationConfig",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "SimulatedCrawler",
+    "SourcePopulation",
+    "StreamBatch",
+    "StreamReplayer",
+    "Trace",
+    "TraceStats",
+    "TrafficModel",
+    "ValidationIssue",
+    "ValidationReport",
+    "assert_valid",
+    "boston_bombing",
+    "bursts_at_transitions",
+    "college_football",
+    "generate_trace",
+    "merge_traces",
+    "osu_attack",
+    "paris_shooting",
+    "validate_trace",
+]

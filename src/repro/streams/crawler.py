@@ -1,0 +1,82 @@
+"""Simulated data crawler (the paper's Figure 2 "crawler" box).
+
+"[The master node] is connected to the data crawler which continuously
+fetches the social sensing data."  The real system polled Twitter's
+search/streaming APIs; this adapter replays a synthetic trace as *raw
+tweets* — text, author, timestamp only — so the downstream application
+must run the full text pipeline (clustering, attitude, uncertainty,
+independence) exactly as a live deployment would.  Nothing from the
+generator's ground truth leaks through except the text itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.streams.replay import StreamReplayer
+from repro.streams.trace import Trace
+from repro.text.pipeline import RawTweet
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlBatch:
+    """One poll's worth of raw tweets."""
+
+    poll_time: float
+    tweets: tuple[RawTweet, ...]
+
+    def __len__(self) -> int:
+        return len(self.tweets)
+
+
+class SimulatedCrawler:
+    """Polls a replayed trace like a search-API crawler.
+
+    Args:
+        trace: Source trace; its reports must carry text (generate with
+            ``GeneratorConfig(with_text=True)``, the default).
+        speed: Replay rate in tweets/second.
+        duration: Replay duration in seconds.
+        poll_interval: Seconds between polls (the crawler's API cadence).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        speed: float = 100.0,
+        duration: float = 60.0,
+        poll_interval: float = 5.0,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        if trace.reports and not any(r.text for r in trace.reports[:100]):
+            raise ValueError(
+                "trace has no tweet text; regenerate with with_text=True"
+            )
+        self.trace = trace
+        self.poll_interval = poll_interval
+        self._replayer = StreamReplayer(trace, speed=speed, duration=duration)
+
+    def total_tweets(self) -> int:
+        return self._replayer.total_reports()
+
+    def polls(self) -> Iterator[CrawlBatch]:
+        """Yield one :class:`CrawlBatch` per poll interval."""
+        pending: list[RawTweet] = []
+        boundary = self.poll_interval
+        for batch in self._replayer.batches():
+            for report in batch.reports:
+                pending.append(
+                    RawTweet(
+                        source_id=report.source_id,
+                        text=report.text,
+                        timestamp=report.timestamp,
+                    )
+                )
+            if batch.arrival_time >= boundary:
+                yield CrawlBatch(poll_time=boundary, tweets=tuple(pending))
+                pending = []
+                boundary += self.poll_interval
+        if pending:
+            yield CrawlBatch(poll_time=boundary, tweets=tuple(pending))

@@ -1,0 +1,298 @@
+"""Scenario models for the three evaluation traces (paper Table II).
+
+Each :class:`ScenarioSpec` describes one social sensing event — its
+duration, claim set, truth dynamics, source population and traffic shape
+— plus text templates so generated reports carry realistic tweet-like
+text for the NLP pipeline (:mod:`repro.text`) to score.
+
+The three built-in scenarios mirror the paper's traces:
+
+- :func:`boston_bombing` — 4 days, large volume, emergency-response
+  claims whose truth flips occasionally (suspect located, arrest made);
+- :func:`paris_shooting` — 3 days, similar emergency profile;
+- :func:`college_football` — 3 days covering five games; "score change"
+  claims flip *frequently*, which is what makes this trace hardest for
+  static truth discovery (the paper's Table V shows the largest SSTD
+  margin here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.streams.sources import PopulationConfig
+
+# ---------------------------------------------------------------------------
+# Tweet text templates.  {claim} is replaced by the claim text.  The
+# attitude/uncertainty classifiers in repro.text key off the cue words.
+# ---------------------------------------------------------------------------
+
+AGREE_TEMPLATES = (
+    "BREAKING: {claim}",
+    "confirmed: {claim} #news",
+    "{claim} — happening right now, I am on the scene",
+    "police confirm {claim}",
+    "just saw it myself: {claim}",
+    "update: {claim}, stay safe everyone",
+    "yes — {claim}. multiple witnesses",
+)
+
+AGREE_HEDGED_TEMPLATES = (
+    "unconfirmed reports that {claim}",
+    "hearing that {claim}, possibly — can anyone confirm?",
+    "{claim}?? maybe, sources unclear",
+    "rumor going around that {claim}, might be true",
+    "it seems {claim}, but i am not sure",
+)
+
+DISAGREE_TEMPLATES = (
+    "{claim} is FALSE, stop spreading it",
+    "fake news: {claim} has been debunked",
+    "not true that {claim}, officials deny it",
+    "rumor that {claim} is false, please RT the correction",
+    "{claim}? no. that claim was debunked an hour ago",
+)
+
+DISAGREE_HEDGED_TEMPLATES = (
+    "pretty sure {claim} is not true, but waiting for confirmation",
+    "doubt that {claim}, seems like a hoax maybe",
+    "{claim} looks fake to me, possibly misreported",
+)
+
+RETWEET_PREFIX = "RT @{original}: "
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """Full description of one synthetic social sensing event.
+
+    Attributes:
+        name: Trace name (Table II row label).
+        duration: Event duration in seconds.
+        n_reports: Target report count.
+        n_claims: Number of distinct claims.
+        claim_texts: Claim statements, cycled if fewer than ``n_claims``.
+        topic: Topic tag stored on the claims.
+        mean_truth_flips: Expected number of ground-truth transitions per
+            claim over the event (0 = static truth).
+        initial_true_fraction: Fraction of claims that start out true.
+        claim_zipf_exponent: Skew of report volume across claims.
+        population: Source population shape.
+        burst_amplitude: Traffic spike multiplier at truth transitions.
+        burst_decay: Spike decay constant in seconds.
+        diurnal_amplitude: Day/night traffic modulation.
+        keywords: Query keywords (Table II "Search Keywords" column).
+    """
+
+    name: str
+    duration: float
+    n_reports: int
+    n_claims: int
+    claim_texts: tuple[str, ...]
+    topic: str
+    mean_truth_flips: float = 1.0
+    initial_true_fraction: float = 0.5
+    claim_zipf_exponent: float = 1.0
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    burst_amplitude: float = 4.0
+    burst_decay: float = 900.0
+    diurnal_amplitude: float = 0.4
+    keywords: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.n_reports < 0:
+            raise ValueError("n_reports must be >= 0")
+        if self.n_claims < 1:
+            raise ValueError("n_claims must be >= 1")
+        if not self.claim_texts:
+            raise ValueError("need at least one claim text")
+        if self.mean_truth_flips < 0:
+            raise ValueError("mean_truth_flips must be >= 0")
+
+    def scaled(self, fraction: float) -> "ScenarioSpec":
+        """Copy with report volume and population scaled by ``fraction``.
+
+        Keeps claim structure and dynamics intact, so a 10% trace
+        exercises the same phenomena at lower cost (used by the accuracy
+        benchmarks; the Table II benchmark generates full size).
+        """
+        if not 0.0 < fraction:
+            raise ValueError("fraction must be > 0")
+        population = PopulationConfig(
+            n_sources=max(10, int(self.population.n_sources * fraction)),
+            zipf_exponent=self.population.zipf_exponent,
+            reliable_fraction=self.population.reliable_fraction,
+            reliable_range=self.population.reliable_range,
+            noisy_range=self.population.noisy_range,
+            spreader_fraction=self.population.spreader_fraction,
+            spreader_range=self.population.spreader_range,
+            retweet_propensity_range=self.population.retweet_propensity_range,
+        )
+        return ScenarioSpec(
+            name=self.name,
+            duration=self.duration,
+            n_reports=max(1, int(self.n_reports * fraction)),
+            n_claims=self.n_claims,
+            claim_texts=self.claim_texts,
+            topic=self.topic,
+            mean_truth_flips=self.mean_truth_flips,
+            initial_true_fraction=self.initial_true_fraction,
+            claim_zipf_exponent=self.claim_zipf_exponent,
+            population=population,
+            burst_amplitude=self.burst_amplitude,
+            burst_decay=self.burst_decay,
+            diurnal_amplitude=self.diurnal_amplitude,
+            keywords=self.keywords,
+        )
+
+
+_BOSTON_CLAIMS = (
+    "there was a second bomb at the JFK library",
+    "a suspect has been arrested near the marathon finish line",
+    "police are searching a house in Watertown",
+    "cell phone service has been shut down in Boston",
+    "an eight year old was among the casualties",
+    "the bridge into Cambridge is closed",
+    "a third explosive device was found and defused",
+    "the suspect escaped in a grey Honda",
+    "a police officer was shot at MIT campus",
+    "the public transit system is suspended city wide",
+)
+
+_PARIS_CLAIMS = (
+    "the shooters are still inside the Charlie Hebdo building",
+    "hostages are being held at a kosher supermarket",
+    "one suspect has surrendered to police",
+    "the suspects were spotted near Porte de Vincennes",
+    "schools in the 11th arrondissement are on lockdown",
+    "a second shooting occurred at Montrouge",
+    "the getaway car was found abandoned in the 19th",
+    "police have identified three attackers",
+    "the metro line 8 is shut down",
+    "an accomplice crossed the border into Belgium",
+)
+
+_FOOTBALL_CLAIMS = (
+    "Notre Dame is leading the game",
+    "the Buckeyes just scored a touchdown",
+    "the Fighting Irish quarterback left with an injury",
+    "the game is tied going into the fourth quarter",
+    "Clemson scored on the opening drive",
+    "the field goal attempt was blocked",
+    "Michigan is up by two scores",
+    "the game went into overtime",
+    "Stanford fumbled on their own twenty",
+    "the running back broke the school rushing record",
+)
+
+
+def boston_bombing() -> ScenarioSpec:
+    """Boston Bombing trace profile (Table II: 553,609 reports, 4 days)."""
+    return ScenarioSpec(
+        name="Boston Bombing",
+        duration=4 * 86_400.0,
+        n_reports=553_609,
+        n_claims=60,
+        claim_texts=_BOSTON_CLAIMS,
+        topic="emergency",
+        mean_truth_flips=1.2,
+        initial_true_fraction=0.45,
+        population=PopulationConfig(
+            n_sources=2_600_000, zipf_exponent=0.18, spreader_fraction=0.12
+        ),
+        burst_amplitude=5.0,
+        burst_decay=1_200.0,
+        keywords=("Bombing", "Marathon", "Attack"),
+    )
+
+
+def paris_shooting() -> ScenarioSpec:
+    """Paris (Charlie Hebdo) Shooting profile (253,798 reports, 3 days)."""
+    return ScenarioSpec(
+        name="Paris Shooting",
+        duration=3 * 86_400.0,
+        n_reports=253_798,
+        n_claims=50,
+        claim_texts=_PARIS_CLAIMS,
+        topic="emergency",
+        mean_truth_flips=1.0,
+        initial_true_fraction=0.5,
+        population=PopulationConfig(
+            n_sources=950_000, zipf_exponent=0.18, spreader_fraction=0.10
+        ),
+        burst_amplitude=4.0,
+        burst_decay=1_000.0,
+        keywords=("Paris", "Shooting", "Charlie Hebdo"),
+    )
+
+
+def college_football() -> ScenarioSpec:
+    """College Football profile (429,019 reports, 3 days, 5 games).
+
+    Score/lead claims flip often — the dynamic-truth stress test.
+    """
+    return ScenarioSpec(
+        name="College Football",
+        duration=3 * 86_400.0,
+        n_reports=429_019,
+        n_claims=80,
+        claim_texts=_FOOTBALL_CLAIMS,
+        topic="sports",
+        mean_truth_flips=4.0,
+        initial_true_fraction=0.5,
+        population=PopulationConfig(
+            n_sources=3_200_000, zipf_exponent=0.15, spreader_fraction=0.06
+        ),
+        burst_amplitude=6.0,
+        burst_decay=600.0,
+        diurnal_amplitude=0.5,
+        keywords=("Team/College names",),
+    )
+
+
+_OSU_CLAIMS = (
+    "there is an active shooting at the OSU campus",
+    "the attacker used a car and a knife, not a gun",
+    "the suspect is an OSU student",
+    "a second attacker is at large near the stadium",
+    "the campus lockdown has been lifted",
+    "nine people were transported to hospitals",
+    "the attacker was shot by a campus police officer",
+    "buildings on 19th avenue are being evacuated",
+)
+
+
+def osu_attack() -> ScenarioSpec:
+    """OSU campus attack (Nov 2016) — the paper's motivating example.
+
+    Table I of the paper shows its contradicting tweets: early reports
+    of a *shooting* that later turn out false (car-and-knife attack),
+    i.e. claims whose truth value flips as facts emerge.  Small and
+    fast — sized for demos and quickstarts rather than benchmarks.
+    """
+    return ScenarioSpec(
+        name="OSU Attack",
+        duration=86_400.0,
+        n_reports=40_000,
+        n_claims=16,
+        claim_texts=_OSU_CLAIMS,
+        topic="emergency",
+        mean_truth_flips=1.5,
+        initial_true_fraction=0.5,
+        population=PopulationConfig(
+            n_sources=120_000, zipf_exponent=0.2, spreader_fraction=0.15
+        ),
+        burst_amplitude=6.0,
+        burst_decay=900.0,
+        keywords=("OSU", "shooting", "attack"),
+    )
+
+
+SCENARIOS = {
+    "boston": boston_bombing,
+    "paris": paris_shooting,
+    "football": college_football,
+    "osu": osu_attack,
+}

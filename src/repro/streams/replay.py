@@ -1,0 +1,113 @@
+"""Stream replay: feed a trace to consumers at a controlled rate.
+
+The paper's Figure 5 experiment streams each trace "at different speed
+for a duration of 100 seconds" and compares how batch and streaming
+schemes keep up.  :class:`StreamReplayer` rescales a trace's timestamps
+onto a wall-clock-like axis at a target rate (tweets/second) and yields
+per-second batches; it works against either the real clock or a virtual
+one so experiments stay deterministic and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.types import Report
+from repro.streams.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class StreamBatch:
+    """Reports that arrived during one replay second."""
+
+    second: int
+    reports: tuple[Report, ...]
+
+    @property
+    def arrival_time(self) -> float:
+        """End of the batch's arrival second on the replay clock."""
+        return float(self.second + 1)
+
+
+class StreamReplayer:
+    """Replay a trace at a fixed rate of ``speed`` reports per second.
+
+    The replayer compresses/stretches the trace's own time axis so that
+    exactly ``speed`` reports (on average) arrive per replay second, for
+    ``duration`` seconds, preserving the original arrival *order* and
+    relative burstiness within the replayed prefix.
+
+    Report timestamps in the emitted batches are remapped onto the replay
+    clock, so consumers (e.g. :class:`repro.core.sstd.StreamingSSTD`) see
+    a coherent stream.
+    """
+
+    def __init__(self, trace: Trace, speed: float, duration: float = 100.0) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be > 0, got {speed}")
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        self.trace = trace
+        self.speed = speed
+        self.duration = duration
+
+    def total_reports(self) -> int:
+        """Number of reports the replay will deliver."""
+        return min(int(self.speed * self.duration), len(self.trace.reports))
+
+    def batches(self) -> Iterator[StreamBatch]:
+        """Yield one :class:`StreamBatch` per replay second.
+
+        Seconds with no arrivals still yield (empty) batches, so
+        consumers tick on every second exactly like a polling loop.
+        """
+        count = self.total_reports()
+        prefix = self.trace.reports[:count]
+        if not prefix:
+            for second in range(int(self.duration)):
+                yield StreamBatch(second=second, reports=())
+            return
+
+        t0 = prefix[0].timestamp
+        t1 = prefix[-1].timestamp
+        span = max(t1 - t0, 1e-9)
+        scale = self.duration / span
+
+        # Remap each report onto the replay clock.
+        remapped: list[Report] = []
+        from dataclasses import replace
+
+        for report in prefix:
+            new_ts = (report.timestamp - t0) * scale
+            new_ts = min(new_ts, self.duration - 1e-6)
+            remapped.append(replace(report, timestamp=new_ts))
+
+        cursor = 0
+        for second in range(int(self.duration)):
+            batch: list[Report] = []
+            limit = float(second + 1)
+            while cursor < len(remapped) and remapped[cursor].timestamp < limit:
+                batch.append(remapped[cursor])
+                cursor += 1
+            yield StreamBatch(second=second, reports=tuple(batch))
+
+    def chunked(self, chunk_seconds: float) -> Iterator[tuple[float, list[Report]]]:
+        """Batch-scheme view: reports grouped into ``chunk_seconds`` chunks.
+
+        Models the paper's batch baselines that "retrieve and process 5
+        seconds of data each time periodically".  Yields
+        ``(chunk_end_time, reports)`` pairs.
+        """
+        if chunk_seconds <= 0:
+            raise ValueError("chunk_seconds must be > 0")
+        pending: list[Report] = []
+        boundary = chunk_seconds
+        for batch in self.batches():
+            pending.extend(batch.reports)
+            if batch.arrival_time >= boundary:
+                yield boundary, pending
+                pending = []
+                boundary += chunk_seconds
+        if pending:
+            yield boundary, pending

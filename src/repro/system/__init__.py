@@ -1,0 +1,36 @@
+"""The integrated SSTD system: DTM, TD jobs, deadlines, deployment."""
+
+from repro.system.application import (
+    ApplicationConfig,
+    FlipEvent,
+    SocialSensingApplication,
+)
+from repro.system.deadline import DeadlineTracker, IntervalRecord, hit_rate_curve
+from repro.system.dtm import DTMConfig, DynamicTaskManager
+from repro.system.jobs import TDJob
+from repro.system.monitor import MonitorSample, MonitorSummary, SystemMonitor
+from repro.system.sstd_system import (
+    BatchRunResult,
+    DistributedSSTD,
+    IntervalRunResult,
+    SSTDSystemConfig,
+)
+
+__all__ = [
+    "ApplicationConfig",
+    "BatchRunResult",
+    "DTMConfig",
+    "DeadlineTracker",
+    "DistributedSSTD",
+    "DynamicTaskManager",
+    "FlipEvent",
+    "IntervalRecord",
+    "IntervalRunResult",
+    "MonitorSample",
+    "MonitorSummary",
+    "SystemMonitor",
+    "SSTDSystemConfig",
+    "SocialSensingApplication",
+    "TDJob",
+    "hit_rate_curve",
+]

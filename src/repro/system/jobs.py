@@ -1,0 +1,83 @@
+"""Truth Discovery (TD) jobs.
+
+SSTD assigns each claim its own TD job (paper Section III-E): the job
+owns the claim's report stream, is split into Work Queue tasks, and has
+a soft deadline expressing the application's responsiveness requirement
+(Section II).  The job is also the unit the control loop steers — priorities
+are per-job, and WCET predictions are per-job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.types import Report
+from repro.workqueue.task import Task
+
+
+@dataclass
+class TDJob:
+    """One claim's truth-discovery job.
+
+    Attributes:
+        job_id: Stable identifier (the claim id).
+        claim_id: The claim this job decodes.
+        deadline: Soft deadline in seconds for processing one batch of
+            this job's data (paper ``dl_j``).
+        tasks_per_batch: How many tasks a data batch is split into; the
+            paper keeps this small to bound initialization overhead
+            (Section IV-C4).
+    """
+
+    job_id: str
+    claim_id: str
+    deadline: float = 10.0
+    tasks_per_batch: int = 1
+    reports_seen: int = 0
+    batches_submitted: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be > 0")
+        if self.tasks_per_batch < 1:
+            raise ValueError("tasks_per_batch must be >= 1")
+
+    def make_tasks(
+        self,
+        reports: Sequence[Report],
+        payload: Callable[[Sequence[Report]], Any] | None = None,
+    ) -> list[Task]:
+        """Split one batch of reports into Work Queue tasks.
+
+        Data is divided equally between the job's tasks (Section IV-C4).
+        ``payload`` receives each task's slice of reports; its return
+        value becomes the task output.
+        """
+        self.reports_seen += len(reports)
+        self.batches_submitted += 1
+        n_tasks = min(self.tasks_per_batch, max(1, len(reports)))
+        chunks: list[Sequence[Report]] = []
+        if reports:
+            size = len(reports) // n_tasks
+            remainder = len(reports) % n_tasks
+            start = 0
+            for k in range(n_tasks):
+                extra = 1 if k < remainder else 0
+                chunks.append(reports[start : start + size + extra])
+                start += size + extra
+        else:
+            chunks.append(())
+
+        tasks = []
+        for chunk in chunks:
+            fn = None
+            if payload is not None:
+                # Bind the chunk now; late binding in a loop is a classic bug.
+                fn = (lambda data: lambda: payload(data))(chunk)
+            tasks.append(
+                Task(job_id=self.job_id, data_size=float(len(chunk)), fn=fn)
+            )
+        return tasks

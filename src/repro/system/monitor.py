@@ -1,0 +1,105 @@
+"""System monitoring: execution-state sampling (paper §IV-C3).
+
+The paper's controller "continuously monitor[s] the timestamps of the
+output files of the TD job" at 1 Hz.  This module generalizes that into
+a reusable monitor that samples the Work Queue master's state on the
+virtual clock and summarizes the run afterwards — queue depth, worker
+utilization, per-job backlog — which the examples and failure-injection
+tests use to observe the system from the outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.simulation import PeriodicTask, Simulator
+from repro.workqueue.master import WorkQueueMaster
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorSample:
+    """One snapshot of the execution state."""
+
+    time: float
+    pending_tasks: int
+    busy_workers: int
+    total_workers: int
+    jobs_with_backlog: int
+
+    @property
+    def utilization(self) -> float:
+        if self.total_workers == 0:
+            return 0.0
+        return self.busy_workers / self.total_workers
+
+
+@dataclass
+class MonitorSummary:
+    """Aggregates over a finished run."""
+
+    samples: Sequence[MonitorSample]
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.utilization for s in self.samples) / len(self.samples)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return max((s.pending_tasks for s in self.samples), default=0)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.pending_tasks for s in self.samples) / len(self.samples)
+
+
+class SystemMonitor:
+    """Samples a Work Queue master on a fixed virtual-time period."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        master: WorkQueueMaster,
+        period: float = 1.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be > 0")
+        self.simulator = simulator
+        self.master = master
+        self.period = period
+        self.samples: list[MonitorSample] = []
+        self._task: PeriodicTask | None = None
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._task is None:
+            self._task = PeriodicTask(
+                self.simulator, self.period, self.sample_once
+            )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def sample_once(self) -> None:
+        busy = sum(1 for w in self.master.workers if w.busy)
+        backlog = sum(
+            1 for account in self.master.jobs.values() if account.pending > 0
+        )
+        self.samples.append(
+            MonitorSample(
+                time=self.simulator.now,
+                pending_tasks=len(self.master.pending),
+                busy_workers=busy,
+                total_workers=self.master.active_worker_count,
+                jobs_with_backlog=backlog,
+            )
+        )
+
+    def summary(self) -> MonitorSummary:
+        return MonitorSummary(samples=tuple(self.samples))

@@ -1,0 +1,89 @@
+"""Independence scorer (paper Definition 3, Section V-A2).
+
+"To compute the Independent Score, we classified the retweets or tweets
+that are significantly similar to the previous tweets within a time
+interval as repeated claims and assign them relatively low independent
+scores."
+
+The scorer therefore flags (a) explicit retweets (``RT @user:`` prefix)
+and (b) near-duplicates of recent tweets by Jaccard similarity inside a
+sliding time window, and maps both to a low eta.
+"""
+
+from __future__ import annotations
+
+import collections
+import re
+from dataclasses import dataclass
+
+from repro.text.jaccard import jaccard_similarity
+from repro.text.tokenize import token_set
+
+_RT_RE = re.compile(r"^\s*rt\s+@\w+", re.IGNORECASE)
+
+
+@dataclass(frozen=True, slots=True)
+class IndependenceConfig:
+    """Scoring thresholds.
+
+    Attributes:
+        window: Seconds of history a tweet is compared against.
+        duplicate_similarity: Jaccard similarity above which a tweet
+            counts as a copy of a recent one.
+        copy_score: Eta assigned to retweets / near-duplicates.
+        fresh_score: Eta assigned to independent reports.
+        max_history: Cap on remembered recent tweets (memory bound).
+    """
+
+    window: float = 600.0
+    duplicate_similarity: float = 0.8
+    copy_score: float = 0.2
+    fresh_score: float = 1.0
+    max_history: int = 512
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be > 0")
+        if not 0.0 <= self.duplicate_similarity <= 1.0:
+            raise ValueError("duplicate_similarity must be in [0, 1]")
+        if not 0.0 < self.copy_score <= self.fresh_score <= 1.0:
+            raise ValueError("need 0 < copy_score <= fresh_score <= 1")
+
+
+def is_retweet(text: str) -> bool:
+    """Whether the text is an explicit retweet (``RT @user: ...``)."""
+    return bool(_RT_RE.match(text))
+
+
+class IndependenceScorer:
+    """Streaming eta scorer with a per-claim recent-tweet memory."""
+
+    def __init__(self, config: IndependenceConfig | None = None) -> None:
+        self.config = config or IndependenceConfig()
+        self._history: dict[str, collections.deque] = collections.defaultdict(
+            lambda: collections.deque(maxlen=self.config.max_history)
+        )
+
+    def score(self, claim_id: str, text: str, timestamp: float) -> float:
+        """Eta of one tweet; also records it for future comparisons.
+
+        Tweets must arrive in non-decreasing timestamp order per claim.
+        """
+        config = self.config
+        history = self._history[claim_id]
+        while history and history[0][0] < timestamp - config.window:
+            history.popleft()
+
+        tokens = token_set(text)
+        copied = is_retweet(text)
+        if not copied:
+            for _, seen_tokens in history:
+                if (
+                    jaccard_similarity(tokens, seen_tokens)
+                    >= config.duplicate_similarity
+                ):
+                    copied = True
+                    break
+
+        history.append((timestamp, tokens))
+        return config.copy_score if copied else config.fresh_score

@@ -1,0 +1,19 @@
+"""Work Queue reproduction: master, workers, elastic pool, local executor."""
+
+from repro.workqueue.local import LocalResult, LocalWorkQueue
+from repro.workqueue.master import JobAccounting, WorkQueueMaster
+from repro.workqueue.pool import ElasticWorkerPool
+from repro.workqueue.task import CostModel, Task, TaskResult
+from repro.workqueue.worker import SimulatedWorker
+
+__all__ = [
+    "CostModel",
+    "ElasticWorkerPool",
+    "JobAccounting",
+    "LocalResult",
+    "LocalWorkQueue",
+    "SimulatedWorker",
+    "Task",
+    "TaskResult",
+    "WorkQueueMaster",
+]

@@ -1,0 +1,166 @@
+"""Local thread-backed Work Queue executor.
+
+The simulated workers (:mod:`repro.workqueue.worker`) model timing; this
+executor really runs task payloads on a pool of threads with the same
+submit / priority / collect API, so examples and small deployments can
+use actual concurrency without the simulation layer.  On a one-core box
+this obviously does not show parallel speedup — that is exactly why the
+scalability experiments use the simulator — but it exercises the same
+dispatch logic against real wall time.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.workqueue.task import Task
+
+
+@dataclass(frozen=True, slots=True)
+class LocalResult:
+    """Completion record of a locally executed task."""
+
+    task_id: int
+    job_id: str
+    worker_name: str
+    output: Any
+    wall_time: float
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class LocalWorkQueue:
+    """Thread-pool executor with priority-weighted dispatch.
+
+    Example:
+        >>> wq = LocalWorkQueue(n_workers=2)
+        >>> wq.submit(Task(job_id="j", fn=lambda: 21 * 2))
+        >>> [r.output for r in wq.drain()]
+        [42]
+        >>> wq.shutdown()
+    """
+
+    def __init__(
+        self, n_workers: int = 2, rng: np.random.Generator | int | None = None
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self._rng = rng
+        self._lock = threading.Lock()
+        self._pending: list[Task] = []
+        self._results: "queue.Queue[LocalResult]" = queue.Queue()
+        self._outstanding = 0
+        self.priorities: dict[str, float] = {}
+        self._shutdown = False
+        self._wakeup = threading.Condition(self._lock)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"local-worker-{k}", daemon=True
+            )
+            for k in range(n_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def set_priority(self, job_id: str, priority: float) -> None:
+        if priority <= 0:
+            raise ValueError("priority must be > 0")
+        with self._lock:
+            self.priorities[job_id] = priority
+
+    def submit(self, task: Task) -> None:
+        if task.fn is None:
+            raise ValueError("local tasks need a callable payload (task.fn)")
+        with self._wakeup:
+            if self._shutdown:
+                raise RuntimeError("queue is shut down")
+            self._pending.append(task)
+            self._outstanding += 1
+            self._wakeup.notify()
+
+    def _pick_task(self) -> Optional[Task]:
+        """Priority-weighted pop; caller holds the lock."""
+        if not self._pending:
+            return None
+        if len(self._pending) == 1:
+            return self._pending.pop(0)
+        weights = np.array(
+            [self.priorities.get(t.job_id, 1.0) for t in self._pending]
+        )
+        index = int(self._rng.choice(len(self._pending), p=weights / weights.sum()))
+        return self._pending.pop(index)
+
+    def _worker_loop(self) -> None:
+        name = threading.current_thread().name
+        while True:
+            with self._wakeup:
+                while not self._pending and not self._shutdown:
+                    self._wakeup.wait()
+                if self._shutdown and not self._pending:
+                    return
+                task = self._pick_task()
+            if task is None:
+                continue
+            start = time.perf_counter()
+            error: Optional[BaseException] = None
+            output = None
+            try:
+                output = task.run()
+            except Exception as exc:  # deliberate: task errors are data
+                error = exc
+            self._results.put(
+                LocalResult(
+                    task_id=task.task_id,
+                    job_id=task.job_id,
+                    worker_name=name,
+                    output=output,
+                    wall_time=time.perf_counter() - start,
+                    error=error,
+                )
+            )
+
+    def drain(self, timeout: float = 60.0) -> list[LocalResult]:
+        """Block until every submitted task has finished; return results."""
+        deadline = time.monotonic() + timeout
+        collected: list[LocalResult] = []
+        while True:
+            with self._lock:
+                if self._outstanding == 0:
+                    break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"{self._outstanding} tasks still outstanding"
+                )
+            try:
+                result = self._results.get(timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            collected.append(result)
+            with self._lock:
+                self._outstanding -= 1
+        # Pick up any results that raced the counter.
+        while True:
+            try:
+                collected.append(self._results.get_nowait())
+            except queue.Empty:
+                break
+        return collected
+
+    def shutdown(self) -> None:
+        with self._wakeup:
+            self._shutdown = True
+            self._wakeup.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)

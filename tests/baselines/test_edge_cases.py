@@ -1,0 +1,106 @@
+"""Edge-case tests across all truth-discovery algorithms.
+
+Degenerate inputs a production deployment will eventually see: single
+sources, unanimous agreement, perfect ties, all-neutral streams, claims
+with one report.  Every algorithm must return sane output (not crash,
+not emit out-of-range confidences).
+"""
+
+import pytest
+
+from repro.baselines import EvaluationGrid, make_algorithm
+from repro.baselines.registry import ALGORITHM_FACTORIES
+from repro.core.types import Attitude, Report, TruthValue
+
+ALL_METHODS = sorted(ALGORITHM_FACTORIES)
+
+GRID = EvaluationGrid(0.0, 100.0, step=50.0)
+
+
+def run(method, reports):
+    return make_algorithm(method).discover(reports, GRID)
+
+
+class TestSingleReport:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_single_agree(self, method):
+        estimates = run(
+            method, [Report("s", "c", 10.0, attitude=Attitude.AGREE)]
+        )
+        # Some schemes need minimum evidence; those may return nothing,
+        # but whatever they return must be sane.
+        for estimate in estimates:
+            assert estimate.claim_id == "c"
+            assert 0.0 <= estimate.confidence <= 1.0
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_single_disagree_not_true(self, method):
+        estimates = run(
+            method, [Report("s", "c", 10.0, attitude=Attitude.DISAGREE)]
+        )
+        assert all(e.value is TruthValue.FALSE for e in estimates)
+
+
+class TestUnanimous:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_unanimous_agreement_is_true(self, method):
+        reports = [
+            Report(f"s{k}", "c", float(k + 1), attitude=Attitude.AGREE)
+            for k in range(30)
+        ]
+        estimates = run(method, reports)
+        assert estimates, method
+        late = [e for e in estimates if e.timestamp >= 50.0]
+        assert all(e.value is TruthValue.TRUE for e in late), method
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_unanimous_denial_is_false(self, method):
+        reports = [
+            Report(f"s{k}", "c", float(k + 1), attitude=Attitude.DISAGREE)
+            for k in range(30)
+        ]
+        estimates = run(method, reports)
+        late = [e for e in estimates if e.timestamp >= 50.0]
+        assert all(e.value is TruthValue.FALSE for e in late), method
+
+
+class TestNeutralOnly:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_all_neutral_does_not_crash(self, method):
+        reports = [
+            Report(f"s{k}", "c", float(k + 1), attitude=Attitude.NEUTRAL)
+            for k in range(10)
+        ]
+        estimates = run(method, reports)
+        for estimate in estimates:
+            assert estimate.value in (TruthValue.TRUE, TruthValue.FALSE)
+
+
+class TestPerfectTie:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_tie_resolves_deterministically(self, method):
+        reports = []
+        for k in range(10):
+            attitude = Attitude.AGREE if k % 2 else Attitude.DISAGREE
+            reports.append(
+                Report(f"s{k}", "c", float(k + 1), attitude=attitude)
+            )
+        first = run(method, reports)
+        second = run(method, reports)
+        assert [(e.claim_id, e.timestamp, e.value) for e in first] == [
+            (e.claim_id, e.timestamp, e.value) for e in second
+        ]
+
+
+class TestManyClaimsOneSource:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_prolific_single_source(self, method):
+        reports = [
+            Report("solo", f"c{k}", float(k + 1), attitude=Attitude.AGREE)
+            for k in range(20)
+        ]
+        estimates = run(method, reports)
+        claims = {e.claim_id for e in estimates}
+        assert len(claims) == 20 or not estimates, method
+        for estimate in estimates:
+            assert 0.0 <= estimate.confidence <= 1.0

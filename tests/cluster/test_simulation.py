@@ -1,0 +1,157 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.simulation import PeriodicTask, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0  # clock advanced to the horizon
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            sim.schedule(2.0, lambda: fired.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 3.0)]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_step_returns_false_when_empty(self):
+        assert not Simulator().step()
+
+    def test_pending_and_processed_counts(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.processed_events == 1
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="runaway"):
+            sim.run(max_events=100)
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_for(10.0)
+        assert sim.now == 10.0
+        with pytest.raises(ValueError):
+            sim.run_for(-1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+    def test_firing_order_is_sorted_property(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+
+
+class TestPeriodicTask:
+    def test_fires_on_period(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 2.0, lambda: ticks.append(sim.now))
+        sim.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_stop(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.5)
+        task.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def callback():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = PeriodicTask(sim, 1.0, callback)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 5.0, lambda: ticks.append(sim.now), start_delay=0.0)
+        sim.run(until=6.0)
+        assert ticks == [0.0, 5.0]
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(Simulator(), 0.0, lambda: None)

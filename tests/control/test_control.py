@@ -1,0 +1,211 @@
+"""Tests for the PID controller, WCET model, and control knobs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control import (
+    GlobalControlKnob,
+    KnobConfig,
+    LocalControlKnob,
+    PAPER_GAINS,
+    PIDController,
+    PIDGains,
+    WCETModel,
+)
+
+
+class TestPIDGains:
+    def test_paper_values(self):
+        assert (PAPER_GAINS.kp, PAPER_GAINS.ki, PAPER_GAINS.kd) == (1.2, 0.3, 0.2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PIDGains(kp=-1.0)
+
+
+class TestPIDController:
+    def test_proportional_term(self):
+        pid = PIDController(PIDGains(kp=2.0, ki=0.0, kd=0.0))
+        assert pid.update(3.0) == pytest.approx(6.0)
+
+    def test_integral_accumulates(self):
+        pid = PIDController(PIDGains(kp=0.0, ki=1.0, kd=0.0), sample_time=1.0)
+        pid.update(1.0)
+        assert pid.update(1.0) == pytest.approx(2.0)
+
+    def test_derivative_reacts_to_change(self):
+        pid = PIDController(PIDGains(kp=0.0, ki=0.0, kd=1.0), sample_time=1.0)
+        pid.update(1.0)  # no derivative on first sample
+        assert pid.update(3.0) == pytest.approx(2.0)
+
+    def test_first_sample_has_no_derivative_kick(self):
+        pid = PIDController(PIDGains(kp=0.0, ki=0.0, kd=10.0))
+        assert pid.update(100.0) == 0.0
+
+    def test_combined_matches_equation_nine(self):
+        pid = PIDController(PAPER_GAINS, sample_time=1.0)
+        pid.update(2.0)
+        # e=4: P=1.2*4, I=0.3*(2+4), D=0.2*(4-2)
+        expected = 1.2 * 4 + 0.3 * 6 + 0.2 * 2
+        assert pid.update(4.0) == pytest.approx(expected)
+
+    def test_anti_windup_clamps_integral(self):
+        pid = PIDController(
+            PIDGains(kp=0.0, ki=1.0, kd=0.0), integral_limit=5.0
+        )
+        for _ in range(100):
+            pid.update(10.0)
+        assert pid.integral == 5.0
+
+    def test_output_clamp(self):
+        pid = PIDController(PIDGains(kp=100.0, ki=0, kd=0), output_limit=7.0)
+        assert pid.update(10.0) == 7.0
+        assert pid.update(-10.0) == -7.0
+
+    def test_reset(self):
+        pid = PIDController()
+        pid.update(5.0)
+        pid.reset()
+        assert pid.integral == 0.0
+        assert pid.last_output == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PIDController(sample_time=0.0)
+        pid = PIDController()
+        with pytest.raises(ValueError):
+            pid.update(1.0, dt=0.0)
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    def test_pure_proportional_is_linear_property(self, error, kp):
+        pid = PIDController(PIDGains(kp=kp, ki=0.0, kd=0.0), integral_limit=0.0)
+        assert pid.update(error) == pytest.approx(kp * error)
+
+
+class TestWCETModel:
+    def test_task_execution_time_eq10(self):
+        model = WCETModel(init_time=2.0, theta1=0.5)
+        assert model.task_execution_time(10.0) == pytest.approx(7.0)
+
+    def test_job_wcet_eq11(self):
+        model = WCETModel(init_time=1.0, theta2=0.1)
+        # TI*T + D*theta2*total/(WK*T) = 1*2 + 100*0.1*10/(5*2)
+        assert model.job_wcet(100.0, 2, 10, 5) == pytest.approx(2 + 10.0)
+
+    def test_simplified_eq12(self):
+        model = WCETModel(theta2=0.2)
+        assert model.job_wcet_simplified(100.0, 0.5, 4) == pytest.approx(10.0)
+
+    def test_wcet_decreases_with_workers_and_priority(self):
+        model = WCETModel(theta2=1.0)
+        base = model.job_wcet_simplified(100.0, 0.25, 2)
+        assert model.job_wcet_simplified(100.0, 0.5, 2) < base
+        assert model.job_wcet_simplified(100.0, 0.25, 4) < base
+
+    def test_inversions_are_consistent(self):
+        model = WCETModel(theta2=0.5)
+        deadline = 10.0
+        priority = model.required_priority(100.0, deadline, n_workers=4)
+        # Using that priority meets the deadline exactly
+        assert model.job_wcet_simplified(
+            100.0, min(priority, 1.0), 4
+        ) <= deadline + 1e-9 or priority > 1.0
+
+    def test_required_workers_ceils(self):
+        model = WCETModel(theta2=1.0)
+        assert model.required_workers(100.0, 7.0, 1.0) == 15
+
+    def test_validation(self):
+        model = WCETModel()
+        with pytest.raises(ValueError):
+            WCETModel(init_time=-1)
+        with pytest.raises(ValueError):
+            model.task_execution_time(-1.0)
+        with pytest.raises(ValueError):
+            model.job_wcet(1.0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            model.job_wcet_simplified(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            model.required_priority(1.0, 0.0, 1)
+
+
+class TestLocalControlKnob:
+    def test_lateness_raises_priority(self):
+        knob = LocalControlKnob("j")
+        before = knob.priority
+        knob.apply(control_signal=-5.0, reference=10.0)
+        assert knob.priority > before
+
+    def test_slack_lowers_priority(self):
+        knob = LocalControlKnob("j")
+        knob.apply(-5.0, reference=10.0)
+        high = knob.priority
+        knob.apply(+5.0, reference=10.0)
+        assert knob.priority < high
+
+    def test_bounds_respected(self):
+        config = KnobConfig(min_priority=0.5, max_priority=2.0)
+        knob = LocalControlKnob("j", config)
+        for _ in range(50):
+            knob.apply(-100.0, reference=1.0)
+        assert knob.priority == 2.0
+        for _ in range(50):
+            knob.apply(+100.0, reference=1.0)
+        assert knob.priority == 0.5
+
+    def test_reference_validation(self):
+        with pytest.raises(ValueError):
+            LocalControlKnob("j").apply(1.0, reference=0.0)
+
+
+class TestGlobalControlKnob:
+    def test_grows_under_lateness(self):
+        knob = GlobalControlKnob()
+        target = knob.target_size(4, {"a": -5.0, "b": -3.0}, reference=10.0)
+        assert target > 4
+
+    def test_shrinks_only_after_sustained_comfort(self):
+        knob = GlobalControlKnob(shrink_patience=3)
+        signals = {"a": 8.0, "b": 9.0}
+        assert knob.target_size(4, signals, reference=10.0) == 4
+        assert knob.target_size(4, signals, reference=10.0) == 4
+        assert knob.target_size(4, signals, reference=10.0) == 3
+
+    def test_lateness_resets_shrink_patience(self):
+        knob = GlobalControlKnob(shrink_patience=2)
+        comfortable = {"a": 9.0}
+        assert knob.target_size(4, comfortable, reference=10.0) == 4
+        assert knob.target_size(4, {"a": -5.0}, reference=10.0) > 4
+        # Streak restarted: one comfortable sample is not enough again.
+        assert knob.target_size(4, comfortable, reference=10.0) == 4
+
+    def test_shrink_patience_validation(self):
+        with pytest.raises(ValueError):
+            GlobalControlKnob(shrink_patience=0)
+
+    def test_holds_when_mixed(self):
+        knob = GlobalControlKnob()
+        target = knob.target_size(4, {"a": 1.0, "b": 2.0}, reference=10.0)
+        assert target == 4
+
+    def test_never_below_one_on_shrink(self):
+        knob = GlobalControlKnob()
+        assert knob.target_size(1, {"a": 100.0}, reference=10.0) == 1
+
+    def test_empty_signals_noop(self):
+        knob = GlobalControlKnob()
+        assert knob.target_size(5, {}) == 5
+
+    def test_validation(self):
+        knob = GlobalControlKnob()
+        with pytest.raises(ValueError):
+            knob.target_size(-1, {"a": 1.0})
+        with pytest.raises(ValueError):
+            knob.target_size(1, {"a": 1.0}, reference=0.0)
+        with pytest.raises(ValueError):
+            KnobConfig(theta3=0.0)
+        with pytest.raises(ValueError):
+            KnobConfig(min_priority=2.0, max_priority=1.0)

@@ -1,0 +1,144 @@
+"""Tests for the real-time optimization allocator (paper §VII extension)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control import JobDemand, RTOAllocator, WCETModel
+
+
+def make_allocator(theta2=0.01, max_workers=64, max_tasks=16):
+    return RTOAllocator(
+        WCETModel(theta2=theta2),
+        max_workers=max_workers,
+        max_tasks_per_job=max_tasks,
+    )
+
+
+class TestJobDemand:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobDemand("", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            JobDemand("j", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            JobDemand("j", 1.0, 0.0)
+
+
+class TestRequiredShares:
+    def test_inverse_of_wcet(self):
+        allocator = make_allocator(theta2=0.01)
+        jobs = [JobDemand("a", 1000.0, 5.0)]
+        shares = allocator.required_shares(jobs, n_workers=4)
+        # WCET at exactly this share equals the deadline.
+        wcet = allocator.wcet.job_wcet_simplified(1000.0, shares["a"], 4)
+        assert wcet == pytest.approx(5.0)
+
+    def test_feasibility_monotone_in_workers(self):
+        allocator = make_allocator()
+        jobs = [
+            JobDemand("a", 5000.0, 2.0),
+            JobDemand("b", 5000.0, 2.0),
+        ]
+        feasible = [
+            allocator.feasible_with(jobs, w) for w in range(1, 65)
+        ]
+        # Once feasible, stays feasible.
+        first_true = feasible.index(True)
+        assert all(feasible[first_true:])
+
+
+class TestSolve:
+    def test_single_job(self):
+        allocator = make_allocator(theta2=0.01)
+        solution = allocator.solve([JobDemand("a", 1000.0, 5.0)])
+        assert solution.feasible
+        assert solution.n_workers >= 2  # 1000*0.01/5 = 2 workers at share 1
+        assert solution.task_counts["a"] >= 1
+
+    def test_meets_all_deadlines_when_feasible(self):
+        allocator = make_allocator(theta2=0.005)
+        jobs = [
+            JobDemand("a", 2000.0, 4.0),
+            JobDemand("b", 8000.0, 4.0),
+            JobDemand("c", 500.0, 1.0),
+        ]
+        solution = allocator.solve(jobs)
+        assert solution.feasible
+        total = solution.total_tasks
+        for job in jobs:
+            share = solution.task_counts[job.job_id] / total
+            finish = allocator.wcet.job_wcet_simplified(
+                job.data_size, share, solution.n_workers
+            )
+            assert finish <= job.deadline + 1e-9
+
+    def test_bigger_jobs_get_more_tasks(self):
+        allocator = make_allocator(theta2=0.005)
+        solution = allocator.solve(
+            [JobDemand("small", 1000.0, 4.0), JobDemand("big", 8000.0, 4.0)]
+        )
+        assert solution.task_counts["big"] > solution.task_counts["small"]
+
+    def test_tighter_deadline_needs_more_workers(self):
+        allocator = make_allocator(theta2=0.01)
+        loose = allocator.solve([JobDemand("a", 4000.0, 10.0)])
+        tight = allocator.solve([JobDemand("a", 4000.0, 1.0)])
+        assert tight.n_workers > loose.n_workers
+
+    def test_infeasible_falls_back_gracefully(self):
+        allocator = make_allocator(theta2=1.0, max_workers=2)
+        solution = allocator.solve([JobDemand("a", 1_000_000.0, 0.001)])
+        assert not solution.feasible
+        assert solution.n_workers == 2
+        assert solution.max_lateness > 0
+        assert solution.task_counts["a"] >= 1
+
+    def test_duplicate_ids_rejected(self):
+        allocator = make_allocator()
+        with pytest.raises(ValueError, match="duplicate"):
+            allocator.solve([JobDemand("a", 1.0, 1.0), JobDemand("a", 2.0, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_allocator().solve([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=10.0, max_value=50_000.0),
+                st.floats(min_value=0.5, max_value=30.0),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_feasible_solutions_verified_property(self, raw_jobs):
+        """Whenever the solver claims feasibility, every deadline holds."""
+        allocator = make_allocator(theta2=0.001)
+        jobs = [
+            JobDemand(f"j{k}", data, deadline)
+            for k, (data, deadline) in enumerate(raw_jobs)
+        ]
+        solution = allocator.solve(jobs)
+        if not solution.feasible:
+            return
+        total = solution.total_tasks
+        for job in jobs:
+            share = solution.task_counts[job.job_id] / total
+            finish = allocator.wcet.job_wcet_simplified(
+                job.data_size, share, solution.n_workers
+            )
+            assert finish <= job.deadline + 1e-6
+
+
+class TestAllocatorValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            RTOAllocator(WCETModel(), max_workers=0)
+        with pytest.raises(ValueError):
+            RTOAllocator(WCETModel(), max_tasks_per_job=0)
+        with pytest.raises(ValueError):
+            make_allocator().required_shares([JobDemand("a", 1.0, 1.0)], 0)

@@ -1,0 +1,101 @@
+"""Unit and property tests for contribution scores (paper Eq. (1))."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scores import (
+    ATTITUDE_ONLY,
+    FULL_WEIGHTS,
+    ScoreWeights,
+    contribution_score,
+    normalized_support,
+    total_contribution,
+)
+from repro.core.types import Attitude, Report
+
+
+def make_report(attitude=Attitude.AGREE, uncertainty=0.0, independence=1.0):
+    return Report(
+        "s1", "c1", 0.0,
+        attitude=attitude, uncertainty=uncertainty, independence=independence,
+    )
+
+
+reports = st.builds(
+    make_report,
+    attitude=st.sampled_from(list(Attitude)),
+    uncertainty=st.floats(min_value=0.0, max_value=0.999),
+    independence=st.floats(min_value=0.001, max_value=1.0),
+)
+
+
+class TestContributionScore:
+    def test_equation_one(self):
+        report = make_report(Attitude.DISAGREE, 0.4, 0.5)
+        assert contribution_score(report) == pytest.approx(-1 * 0.6 * 0.5)
+
+    @given(reports)
+    def test_bounded_by_one(self, report):
+        assert -1.0 <= contribution_score(report) <= 1.0
+
+    @given(reports)
+    def test_sign_matches_attitude(self, report):
+        score = contribution_score(report)
+        if report.attitude is Attitude.NEUTRAL:
+            assert score == 0.0
+        elif report.attitude is Attitude.AGREE:
+            assert score >= 0.0
+        else:
+            assert score <= 0.0
+
+    @given(reports)
+    def test_uncertainty_discounts_magnitude(self, report):
+        certain = report.with_scores(uncertainty=0.0)
+        assert abs(contribution_score(report)) <= abs(
+            contribution_score(certain)
+        ) + 1e-12
+
+
+class TestScoreWeights:
+    def test_full_matches_report_property(self):
+        report = make_report(Attitude.AGREE, 0.3, 0.7)
+        assert FULL_WEIGHTS.score(report) == pytest.approx(
+            report.contribution_score
+        )
+
+    def test_attitude_only_ignores_other_components(self):
+        report = make_report(Attitude.AGREE, 0.9, 0.001)
+        assert ATTITUDE_ONLY.score(report) == 1.0
+
+    def test_uncertainty_toggle(self):
+        weights = ScoreWeights(use_uncertainty=False)
+        report = make_report(Attitude.AGREE, 0.5, 0.5)
+        assert weights.score(report) == pytest.approx(0.5)
+
+    def test_independence_toggle(self):
+        weights = ScoreWeights(use_independence=False)
+        report = make_report(Attitude.AGREE, 0.5, 0.5)
+        assert weights.score(report) == pytest.approx(0.5)
+
+
+class TestAggregates:
+    def test_total_contribution_sums(self):
+        batch = [
+            make_report(Attitude.AGREE),
+            make_report(Attitude.AGREE),
+            make_report(Attitude.DISAGREE),
+        ]
+        assert total_contribution(batch) == pytest.approx(1.0)
+
+    def test_normalized_support_empty(self):
+        assert normalized_support([]) == 0.0
+
+    @given(st.lists(reports, min_size=1, max_size=20))
+    def test_normalized_support_bounded(self, batch):
+        assert -1.0 <= normalized_support(batch) <= 1.0
+
+    @given(st.lists(reports, min_size=1, max_size=20))
+    def test_normalized_is_mean_of_total(self, batch):
+        assert normalized_support(batch) == pytest.approx(
+            total_contribution(batch) / len(batch)
+        )

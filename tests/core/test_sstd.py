@@ -1,0 +1,232 @@
+"""Tests for the SSTD truth discovery engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.acs import ACSConfig
+from repro.core.sstd import (
+    SSTD,
+    ClaimTruthModel,
+    SSTDConfig,
+    StreamingSSTD,
+    states_to_truth,
+)
+from repro.core.types import Attitude, Report, TruthValue
+from repro.hmm.gaussian import GaussianHMM
+
+
+def flip_scenario(
+    n_reports=1500,
+    flip_at=5000.0,
+    duration=10000.0,
+    reliability=0.8,
+    seed=0,
+    claim_id="c1",
+):
+    """Reports about one claim whose truth flips FALSE -> TRUE at flip_at."""
+    rng = np.random.default_rng(seed)
+    reports = []
+    for k in range(n_reports):
+        t = float(rng.uniform(0, duration))
+        truth = t >= flip_at
+        tells_truth = rng.random() < reliability
+        says_true = truth if tells_truth else not truth
+        reports.append(
+            Report(
+                f"s{k % 200}",
+                claim_id,
+                t,
+                attitude=Attitude.AGREE if says_true else Attitude.DISAGREE,
+            )
+        )
+    return sorted(reports, key=lambda r: r.timestamp)
+
+
+FAST_CONFIG = SSTDConfig(acs=ACSConfig(window=400.0, step=200.0))
+
+
+class TestSSTDConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSTDConfig(em_max_iter=0)
+        with pytest.raises(ValueError):
+            SSTDConfig(min_observations=1)
+        with pytest.raises(ValueError):
+            SSTDConfig(sticky_prior=1.0)
+        with pytest.raises(ValueError):
+            SSTDConfig(sticky_prior=0.3)
+
+
+class TestBatchSSTD:
+    def test_tracks_truth_flip(self):
+        reports = flip_scenario()
+        engine = SSTD(FAST_CONFIG)
+        estimates = engine.discover(reports)
+        errors = sum(
+            1
+            for e in estimates
+            if (e.value is TruthValue.TRUE) != (e.timestamp >= 5000.0)
+        )
+        assert errors / len(estimates) < 0.08
+
+    def test_constant_true_claim_never_invents_flip(self):
+        """A claim that is always TRUE must not get a phantom FALSE phase."""
+        rng = np.random.default_rng(1)
+        reports = []
+        for k in range(800):
+            t = float(rng.uniform(0, 10000))
+            says_true = rng.random() < 0.8
+            reports.append(
+                Report(
+                    f"s{k}", "c1", t,
+                    attitude=Attitude.AGREE if says_true else Attitude.DISAGREE,
+                )
+            )
+        estimates = SSTD(FAST_CONFIG).discover(reports)
+        true_fraction = sum(
+            1 for e in estimates if e.value is TruthValue.TRUE
+        ) / len(estimates)
+        assert true_fraction > 0.95
+
+    def test_constant_false_claim(self):
+        rng = np.random.default_rng(2)
+        reports = []
+        for k in range(800):
+            t = float(rng.uniform(0, 10000))
+            says_true = rng.random() < 0.2  # mostly debunked
+            reports.append(
+                Report(
+                    f"s{k}", "c1", t,
+                    attitude=Attitude.AGREE if says_true else Attitude.DISAGREE,
+                )
+            )
+        estimates = SSTD(FAST_CONFIG).discover(reports)
+        false_fraction = sum(
+            1 for e in estimates if e.value is TruthValue.FALSE
+        ) / len(estimates)
+        assert false_fraction > 0.95
+
+    def test_multiple_claims_grouped(self):
+        reports = flip_scenario(claim_id="a") + flip_scenario(
+            claim_id="b", seed=9
+        )
+        engine = SSTD(FAST_CONFIG)
+        estimates = engine.discover(reports)
+        assert {e.claim_id for e in estimates} == {"a", "b"}
+        assert set(engine.results) == {"a", "b"}
+
+    def test_no_reports(self):
+        assert SSTD(FAST_CONFIG).discover([]) == []
+
+    def test_explicit_span(self):
+        reports = flip_scenario(n_reports=200)
+        estimates = SSTD(FAST_CONFIG).discover(reports, start=0.0, end=10000.0)
+        times = sorted({e.timestamp for e in estimates})
+        assert times[0] == pytest.approx(200.0)
+        assert times[-1] >= 10000.0
+
+    def test_uses_hmm_on_rich_data(self):
+        engine = SSTD(FAST_CONFIG)
+        engine.discover(flip_scenario())
+        assert engine.results["c1"].used_hmm
+
+
+class TestSignFallback:
+    def test_sparse_claim_uses_fallback(self):
+        reports = [
+            Report("s1", "c1", 100.0, attitude=Attitude.AGREE),
+            Report("s2", "c1", 200.0, attitude=Attitude.AGREE),
+        ]
+        engine = SSTD(FAST_CONFIG)
+        result = engine.discover_claim("c1", reports)
+        assert not result.used_hmm
+        assert result.estimates[-1].value is TruthValue.TRUE
+
+    def test_fallback_carries_forward_through_gaps(self):
+        model = ClaimTruthModel("c1", FAST_CONFIG)
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        acs = np.array([1.0, np.nan, np.nan, np.nan])
+        result = model.fit_decode(times, acs)
+        assert all(v is TruthValue.TRUE for v in result.values)
+
+    def test_fallback_defaults_false_before_evidence(self):
+        model = ClaimTruthModel("c1", FAST_CONFIG)
+        times = np.array([1.0, 2.0])
+        acs = np.array([np.nan, -0.5])
+        result = model.fit_decode(times, acs)
+        assert result.values[0] is TruthValue.FALSE
+
+    def test_empty_sequence(self):
+        model = ClaimTruthModel("c1", FAST_CONFIG)
+        result = model.fit_decode(np.array([]), np.array([]))
+        assert result.estimates == ()
+
+    def test_length_mismatch_rejected(self):
+        model = ClaimTruthModel("c1", FAST_CONFIG)
+        with pytest.raises(ValueError, match="differ"):
+            model.fit_decode(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestStatesToTruth:
+    def test_sign_mapping(self):
+        hmm = GaussianHMM(2, means=np.array([-0.5, 0.5]))
+        values = states_to_truth(hmm, np.array([0, 1, 0]))
+        assert values == [TruthValue.FALSE, TruthValue.TRUE, TruthValue.FALSE]
+
+    def test_both_positive_means_all_true(self):
+        hmm = GaussianHMM(2, means=np.array([0.2, 0.9]))
+        values = states_to_truth(hmm, np.array([0, 1]))
+        assert values == [TruthValue.TRUE, TruthValue.TRUE]
+
+
+class TestStreamingSSTD:
+    def test_streaming_tracks_flip(self):
+        reports = flip_scenario()
+        engine = StreamingSSTD(FAST_CONFIG, retrain_every=5)
+        cursor = 0
+        correct = total = 0
+        for now in np.arange(200.0, 10000.0, 200.0):
+            while cursor < len(reports) and reports[cursor].timestamp <= now:
+                engine.push(reports[cursor])
+                cursor += 1
+            for estimate in engine.tick(float(now)):
+                # Skip the early warm-up phase.
+                if now < 1000.0:
+                    continue
+                total += 1
+                expected = now >= 5000.0 + 400.0  # allow one window of lag
+                if (estimate.value is TruthValue.TRUE) == (now >= 5000.0):
+                    correct += 1
+        assert total > 0
+        assert correct / total > 0.85
+
+    def test_latest_tracks_most_recent(self):
+        engine = StreamingSSTD(FAST_CONFIG)
+        engine.push(Report("s1", "c1", 1.0, attitude=Attitude.AGREE))
+        engine.tick(10.0)
+        latest = engine.latest()
+        assert latest["c1"].timestamp == 10.0
+
+    def test_cold_start_sign_rule(self):
+        engine = StreamingSSTD(FAST_CONFIG)
+        engine.push(Report("s1", "c1", 1.0, attitude=Attitude.DISAGREE))
+        (estimate,) = engine.tick(5.0)
+        assert estimate.value is TruthValue.FALSE
+
+    def test_empty_window_keeps_previous(self):
+        engine = StreamingSSTD(FAST_CONFIG)
+        engine.push(Report("s1", "c1", 1.0, attitude=Attitude.AGREE))
+        engine.tick(5.0)
+        (estimate,) = engine.tick(5000.0)  # window empty by now
+        assert estimate.value is TruthValue.TRUE
+
+    def test_retrain_every_validation(self):
+        with pytest.raises(ValueError):
+            StreamingSSTD(retrain_every=0)
+
+    def test_buffer_bounded(self):
+        engine = StreamingSSTD(FAST_CONFIG, max_buffer=10)
+        engine.push(Report("s1", "c1", 0.5, attitude=Attitude.AGREE))
+        for now in range(1, 50):
+            engine.tick(float(now))
+        assert len(engine._times["c1"]) <= 10

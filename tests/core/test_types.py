@@ -1,0 +1,199 @@
+"""Unit tests for the core data model."""
+
+import pytest
+
+from repro.core.types import (
+    Attitude,
+    Claim,
+    Report,
+    Source,
+    TruthEstimate,
+    TruthLabel,
+    TruthTimeline,
+    TruthValue,
+)
+
+
+class TestTruthValue:
+    def test_from_bool(self):
+        assert TruthValue.from_bool(True) is TruthValue.TRUE
+        assert TruthValue.from_bool(False) is TruthValue.FALSE
+
+    def test_int_values(self):
+        assert int(TruthValue.TRUE) == 1
+        assert int(TruthValue.FALSE) == 0
+
+    def test_truthiness(self):
+        assert bool(TruthValue.TRUE)
+        assert not bool(TruthValue.FALSE)
+
+
+class TestSource:
+    def test_basic_construction(self):
+        source = Source("s1", reliability=0.8)
+        assert source.source_id == "s1"
+        assert source.reliability == 0.8
+        assert not source.is_spreader
+
+    def test_reliability_optional(self):
+        assert Source("s1").reliability is None
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="source_id"):
+            Source("")
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 2.0])
+    def test_reliability_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError, match="reliability"):
+            Source("s1", reliability=bad)
+
+    def test_hashable(self):
+        assert len({Source("a"), Source("a"), Source("b")}) == 2
+
+
+class TestClaim:
+    def test_construction(self):
+        claim = Claim("c1", text="it rains", topic="weather")
+        assert claim.claim_id == "c1"
+        assert claim.topic == "weather"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="claim_id"):
+            Claim("")
+
+
+class TestReport:
+    def test_defaults(self):
+        report = Report("s1", "c1", 0.0)
+        assert report.attitude is Attitude.NEUTRAL
+        assert report.uncertainty == 0.0
+        assert report.independence == 1.0
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            Report("s1", "c1", -1.0)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_uncertainty_range(self, bad):
+        with pytest.raises(ValueError, match="uncertainty"):
+            Report("s1", "c1", 0.0, uncertainty=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_independence_range(self, bad):
+        with pytest.raises(ValueError, match="independence"):
+            Report("s1", "c1", 0.0, independence=bad)
+
+    def test_contribution_score_formula(self):
+        report = Report(
+            "s1", "c1", 0.0,
+            attitude=Attitude.AGREE, uncertainty=0.25, independence=0.8,
+        )
+        assert report.contribution_score == pytest.approx(1 * 0.75 * 0.8)
+
+    def test_contribution_score_sign_follows_attitude(self):
+        disagree = Report("s1", "c1", 0.0, attitude=Attitude.DISAGREE)
+        assert disagree.contribution_score == -1.0
+        neutral = Report("s1", "c1", 0.0, attitude=Attitude.NEUTRAL)
+        assert neutral.contribution_score == 0.0
+
+    def test_with_scores_replaces_only_given(self):
+        report = Report("s1", "c1", 0.0, attitude=Attitude.AGREE)
+        updated = report.with_scores(uncertainty=0.5)
+        assert updated.uncertainty == 0.5
+        assert updated.attitude is Attitude.AGREE
+        assert report.uncertainty == 0.0  # original untouched
+
+
+class TestTruthLabel:
+    def test_covers(self):
+        label = TruthLabel("c1", 0.0, 10.0, TruthValue.TRUE)
+        assert label.covers(0.0)
+        assert label.covers(9.999)
+        assert not label.covers(10.0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            TruthLabel("c1", 5.0, 5.0, TruthValue.TRUE)
+
+
+class TestTruthTimeline:
+    def _timeline(self):
+        return TruthTimeline(
+            "c1",
+            [
+                TruthLabel("c1", 0.0, 10.0, TruthValue.FALSE),
+                TruthLabel("c1", 10.0, 20.0, TruthValue.TRUE),
+                TruthLabel("c1", 20.0, 30.0, TruthValue.FALSE),
+            ],
+        )
+
+    def test_value_at_inside(self):
+        timeline = self._timeline()
+        assert timeline.value_at(5.0) is TruthValue.FALSE
+        assert timeline.value_at(10.0) is TruthValue.TRUE
+        assert timeline.value_at(19.9) is TruthValue.TRUE
+        assert timeline.value_at(25.0) is TruthValue.FALSE
+
+    def test_value_clamps_outside(self):
+        timeline = self._timeline()
+        assert timeline.value_at(-5.0) is TruthValue.FALSE
+        assert timeline.value_at(100.0) is TruthValue.FALSE
+
+    def test_transition_times(self):
+        assert self._timeline().transition_times() == [10.0, 20.0]
+
+    def test_transition_times_skips_no_change(self):
+        timeline = TruthTimeline(
+            "c1",
+            [
+                TruthLabel("c1", 0.0, 10.0, TruthValue.TRUE),
+                TruthLabel("c1", 10.0, 20.0, TruthValue.TRUE),
+            ],
+        )
+        assert timeline.transition_times() == []
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            TruthTimeline(
+                "c1",
+                [
+                    TruthLabel("c1", 0.0, 10.0, TruthValue.TRUE),
+                    TruthLabel("c1", 5.0, 15.0, TruthValue.FALSE),
+                ],
+            )
+
+    def test_wrong_claim_rejected(self):
+        with pytest.raises(ValueError, match="claim"):
+            TruthTimeline(
+                "c1", [TruthLabel("c2", 0.0, 1.0, TruthValue.TRUE)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TruthTimeline("c1", [])
+
+    def test_iteration_and_len(self):
+        timeline = self._timeline()
+        assert len(timeline) == 3
+        assert [lab.start for lab in timeline] == [0.0, 10.0, 20.0]
+
+    def test_unsorted_input_is_sorted(self):
+        timeline = TruthTimeline(
+            "c1",
+            [
+                TruthLabel("c1", 10.0, 20.0, TruthValue.TRUE),
+                TruthLabel("c1", 0.0, 10.0, TruthValue.FALSE),
+            ],
+        )
+        assert timeline.start == 0.0
+        assert timeline.end == 20.0
+
+
+class TestTruthEstimate:
+    def test_confidence_range(self):
+        with pytest.raises(ValueError, match="confidence"):
+            TruthEstimate("c1", 0.0, TruthValue.TRUE, confidence=1.5)
+
+    def test_defaults(self):
+        estimate = TruthEstimate("c1", 1.0, TruthValue.FALSE)
+        assert estimate.confidence == 1.0

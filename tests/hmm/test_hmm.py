@@ -1,0 +1,263 @@
+"""HMM correctness tests: inference vs brute force, EM behaviour."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hmm import DiscreteHMM, GaussianHMM
+from repro.hmm.utils import (
+    log_mask_zero,
+    normalize_rows,
+    normalize_vector,
+    validate_distribution,
+    validate_stochastic_matrix,
+)
+
+
+def brute_force_likelihood(hmm: DiscreteHMM, obs) -> float:
+    """P(obs) by explicit summation over every state path."""
+    total = 0.0
+    for path in itertools.product(range(hmm.n_states), repeat=len(obs)):
+        p = hmm.startprob[path[0]] * hmm.emissionprob[path[0], obs[0]]
+        for prev, cur, symbol in zip(path, path[1:], obs[1:]):
+            p *= hmm.transmat[prev, cur] * hmm.emissionprob[cur, symbol]
+        total += p
+    return total
+
+
+def brute_force_viterbi(hmm: DiscreteHMM, obs):
+    """Best path and its joint probability by enumeration."""
+    best_path, best_p = None, -1.0
+    for path in itertools.product(range(hmm.n_states), repeat=len(obs)):
+        p = hmm.startprob[path[0]] * hmm.emissionprob[path[0], obs[0]]
+        for prev, cur, symbol in zip(path, path[1:], obs[1:]):
+            p *= hmm.transmat[prev, cur] * hmm.emissionprob[cur, symbol]
+        if p > best_p:
+            best_p, best_path = p, path
+    return np.array(best_path), best_p
+
+
+def tiny_hmm():
+    return DiscreteHMM(
+        n_states=2,
+        n_symbols=3,
+        startprob=np.array([0.6, 0.4]),
+        transmat=np.array([[0.7, 0.3], [0.2, 0.8]]),
+        emissionprob=np.array([[0.5, 0.4, 0.1], [0.1, 0.3, 0.6]]),
+    )
+
+
+class TestUtils:
+    def test_normalize_rows(self):
+        out = normalize_rows(np.array([[2.0, 2.0], [0.0, 0.0]]))
+        assert out[0].tolist() == [0.5, 0.5]
+        assert out[1].tolist() == [0.5, 0.5]  # zero row -> uniform
+
+    def test_normalize_vector_zero(self):
+        assert normalize_vector(np.zeros(4)).tolist() == [0.25] * 4
+
+    def test_validate_stochastic_rejects_bad_rows(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            validate_stochastic_matrix(np.array([[0.5, 0.1], [0.5, 0.5]]), "A")
+
+    def test_validate_stochastic_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_stochastic_matrix(np.array([[1.5, -0.5], [0.5, 0.5]]), "A")
+
+    def test_validate_distribution(self):
+        with pytest.raises(ValueError):
+            validate_distribution(np.array([0.5, 0.6]), "pi")
+
+    def test_log_mask_zero(self):
+        out = log_mask_zero(np.array([1.0, 0.0]))
+        assert out[0] == 0.0
+        assert np.isneginf(out[1])
+
+
+class TestForwardExact:
+    @pytest.mark.parametrize("obs", [[0], [0, 1], [2, 2, 0, 1], [1, 0, 2, 1, 0]])
+    def test_matches_brute_force(self, obs):
+        hmm = tiny_hmm()
+        expected = brute_force_likelihood(hmm, obs)
+        assert np.exp(hmm.log_likelihood(np.array(obs))) == pytest.approx(expected)
+
+    def test_long_sequence_no_underflow(self):
+        hmm = tiny_hmm()
+        rng = np.random.default_rng(0)
+        obs = rng.integers(0, 3, size=5000)
+        logp = hmm.log_likelihood(obs)
+        assert np.isfinite(logp)
+        assert logp < 0
+
+
+class TestViterbiExact:
+    @pytest.mark.parametrize("obs", [[0], [0, 1, 2], [2, 2, 0, 1, 1]])
+    def test_matches_brute_force(self, obs):
+        hmm = tiny_hmm()
+        states, log_joint = hmm.decode(np.array(obs))
+        expected_path, expected_p = brute_force_viterbi(hmm, obs)
+        assert np.exp(log_joint) == pytest.approx(expected_p)
+        assert states.tolist() == expected_path.tolist()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=6))
+    def test_viterbi_path_is_optimal_property(self, obs):
+        hmm = tiny_hmm()
+        _, log_joint = hmm.decode(np.array(obs))
+        _, expected_p = brute_force_viterbi(hmm, obs)
+        assert np.exp(log_joint) == pytest.approx(expected_p)
+
+
+class TestPosteriors:
+    def test_rows_sum_to_one(self):
+        hmm = tiny_hmm()
+        gamma = hmm.state_posteriors(np.array([0, 1, 2, 0, 1]))
+        assert np.allclose(gamma.sum(axis=1), 1.0)
+
+    def test_posterior_matches_brute_force_single_step(self):
+        hmm = tiny_hmm()
+        obs = [0, 2]
+        gamma = hmm.state_posteriors(np.array(obs))
+        # P(s0 = i | obs) by enumeration
+        joint = np.zeros(2)
+        for path in itertools.product(range(2), repeat=2):
+            p = hmm.startprob[path[0]] * hmm.emissionprob[path[0], obs[0]]
+            p *= hmm.transmat[path[0], path[1]] * hmm.emissionprob[path[1], obs[1]]
+            joint[path[0]] += p
+        assert np.allclose(gamma[0], joint / joint.sum())
+
+
+class TestBaumWelch:
+    def test_likelihood_is_monotone(self):
+        rng = np.random.default_rng(5)
+        true = tiny_hmm()
+        _, obs = true.sample(300, rng=rng)
+        student = DiscreteHMM(n_states=2, n_symbols=3)
+        result = student.fit(obs, max_iter=20, rng=1)
+        lls = result.log_likelihoods
+        assert all(b >= a - 1e-6 for a, b in zip(lls, lls[1:]))
+
+    def test_fit_improves_over_initial(self):
+        rng = np.random.default_rng(5)
+        true = tiny_hmm()
+        _, obs = true.sample(300, rng=rng)
+        student = DiscreteHMM(n_states=2, n_symbols=3)
+        result = student.fit(obs, max_iter=30, rng=1)
+        assert result.final_log_likelihood > result.log_likelihoods[0]
+
+    def test_converged_flag(self):
+        _, obs = tiny_hmm().sample(100, rng=2)
+        student = DiscreteHMM(n_states=2, n_symbols=3)
+        result = student.fit(obs, max_iter=200, tol=1e-3, rng=1)
+        assert result.converged
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            tiny_hmm().fit(np.array([], dtype=int))
+
+
+class TestDiscreteHMM:
+    def test_symbol_range_validated(self):
+        hmm = tiny_hmm()
+        with pytest.raises(ValueError, match="symbols"):
+            hmm.log_likelihood(np.array([0, 5]))
+
+    def test_emission_shape_validated(self):
+        with pytest.raises(ValueError, match="emissionprob"):
+            DiscreteHMM(2, 3, emissionprob=np.ones((2, 2)) / 2)
+
+    def test_sample_shapes(self):
+        states, obs = tiny_hmm().sample(50, rng=0)
+        assert states.shape == obs.shape == (50,)
+        assert set(states) <= {0, 1}
+        assert set(obs) <= {0, 1, 2}
+
+
+class TestGaussianHMM:
+    def _two_state(self):
+        return GaussianHMM(
+            n_states=2,
+            transmat=np.array([[0.95, 0.05], [0.05, 0.95]]),
+            means=np.array([-1.0, 1.0]),
+            variances=np.array([0.25, 0.25]),
+        )
+
+    def test_decode_recovers_well_separated_states(self):
+        true = self._two_state()
+        states, obs = true.sample(400, rng=3)
+        decoded, _ = true.decode(obs)
+        assert np.mean(decoded == states) > 0.95
+
+    def test_fit_recovers_means(self):
+        true = self._two_state()
+        _, obs = true.sample(2000, rng=4)
+        student = GaussianHMM(
+            n_states=2, transmat=np.array([[0.9, 0.1], [0.1, 0.9]])
+        )
+        student.fit(obs, max_iter=50, rng=0)
+        means = np.sort(student.means)
+        assert means[0] == pytest.approx(-1.0, abs=0.15)
+        assert means[1] == pytest.approx(1.0, abs=0.15)
+
+    def test_missing_observations_bridged_by_transitions(self):
+        """NaN observations are decoded from context, not from emissions."""
+        hmm = self._two_state()
+        obs = np.array([1.0, 1.1, np.nan, np.nan, 1.05, 0.9])
+        states, _ = hmm.decode(obs)
+        assert (states == 1).all()
+
+    def test_all_missing_fit_rejected(self):
+        hmm = self._two_state()
+        with pytest.raises(ValueError, match="all-missing"):
+            hmm.fit(np.array([np.nan, np.nan]))
+
+    def test_missing_does_not_change_loglik_scaling(self):
+        hmm = self._two_state()
+        logp = hmm.log_likelihood(np.array([1.0, np.nan, 1.0]))
+        assert np.isfinite(logp)
+
+    def test_variance_floor(self):
+        obs = np.ones(50)  # zero variance data
+        student = GaussianHMM(n_states=2)
+        student.fit(obs, max_iter=5, rng=0)
+        assert (student.variances > 0).all()
+
+    def test_filter_states_online(self):
+        hmm = self._two_state()
+        obs = np.array([-1.0, -1.0, 1.0, 1.0])
+        filtered = hmm.filter_states(obs)
+        assert filtered[0] == 0
+        assert filtered[-1] == 1
+
+    def test_invalid_variances_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            GaussianHMM(2, variances=np.array([1.0, 0.0]))
+
+    def test_state_order_by_mean(self):
+        hmm = GaussianHMM(2, means=np.array([3.0, -2.0]))
+        assert hmm.state_order_by_mean().tolist() == [1, 0]
+
+    def test_infinite_observations_rejected(self):
+        hmm = self._two_state()
+        with pytest.raises(ValueError, match="infinite"):
+            hmm.log_likelihood(np.array([1.0, np.inf]))
+
+
+class TestBaseValidation:
+    def test_bad_n_states(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(0, 2)
+
+    def test_sample_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            tiny_hmm().sample(0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(
+                2, 2,
+                startprob=np.array([1.0]),
+                transmat=np.array([[1.0]]),
+            )

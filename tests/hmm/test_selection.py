@@ -1,0 +1,96 @@
+"""Tests for HMM model selection (AIC/BIC over state counts)."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import DiscreteHMM, GaussianHMM
+from repro.hmm.selection import (
+    SelectionResult,
+    aic,
+    bic,
+    n_parameters,
+    select_n_states,
+)
+
+
+class TestParameterCounts:
+    def test_discrete(self):
+        # n=2, m=3: 1 start + 2 transition + 2*2 emission = 7
+        assert n_parameters(DiscreteHMM(2, 3)) == 7
+
+    def test_gaussian(self):
+        # n=2: 1 start + 2 transition + 4 emission = 7
+        assert n_parameters(GaussianHMM(2)) == 7
+
+    def test_single_state(self):
+        assert n_parameters(GaussianHMM(1)) == 2
+
+
+class TestCriteria:
+    def test_aic_bic_penalize_parameters(self):
+        rng = np.random.default_rng(0)
+        obs = rng.normal(0.0, 1.0, size=200)
+        small = GaussianHMM(1)
+        small.fit(obs, max_iter=20, rng=0)
+        big = GaussianHMM(4)
+        big.fit(obs, max_iter=20, rng=0)
+        # Same data, more parameters: the criteria must penalize.
+        assert aic(big, obs) - 2 * big.log_likelihood(obs) * (-1) >= 0
+        assert bic(big, obs) > bic(small, obs) - 50  # sanity, not strict
+
+    def test_bic_harsher_than_aic_for_long_sequences(self):
+        rng = np.random.default_rng(1)
+        obs = rng.normal(0.0, 1.0, size=2000)
+        model = GaussianHMM(3)
+        model.fit(obs, max_iter=10, rng=0)
+        # log(2000) > 2, so BIC's complexity term dominates AIC's.
+        assert bic(model, obs) > aic(model, obs)
+
+
+class TestSelectNStates:
+    def test_recovers_two_states_from_bimodal_chain(self):
+        true = GaussianHMM(
+            n_states=2,
+            transmat=np.array([[0.95, 0.05], [0.05, 0.95]]),
+            means=np.array([-2.0, 2.0]),
+            variances=np.array([0.3, 0.3]),
+        )
+        _, obs = true.sample(600, rng=5)
+        result = select_n_states(obs, candidates=(1, 2, 3))
+        assert result.best_by_bic == 2
+
+    def test_single_regime_prefers_one_state(self):
+        rng = np.random.default_rng(2)
+        obs = rng.normal(0.0, 1.0, size=500)
+        result = select_n_states(obs, candidates=(1, 2))
+        assert result.best_by_bic == 1
+
+    def test_custom_factory(self):
+        true = DiscreteHMM(
+            2, 2,
+            transmat=np.array([[0.9, 0.1], [0.1, 0.9]]),
+            emissionprob=np.array([[0.9, 0.1], [0.1, 0.9]]),
+        )
+        _, obs = true.sample(400, rng=3)
+        result = select_n_states(
+            obs,
+            candidates=(1, 2),
+            factory=lambda n: DiscreteHMM(n, 2),
+        )
+        assert result.best_by_bic == 2
+
+    def test_entries_expose_scores(self):
+        rng = np.random.default_rng(0)
+        obs = rng.normal(size=100)
+        result = select_n_states(obs, candidates=(1, 2))
+        assert isinstance(result, SelectionResult)
+        assert len(result.entries) == 2
+        for entry in result.entries:
+            assert np.isfinite(entry.aic)
+            assert np.isfinite(entry.bic)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_n_states(np.zeros(10), candidates=())
+        with pytest.raises(ValueError):
+            select_n_states(np.zeros(10), candidates=(0,))

@@ -1,0 +1,186 @@
+"""Integration tests: whole-pipeline behaviour across modules."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DynaTD, EvaluationGrid, MajorityVote, paper_comparison_set
+from repro.baselines.registry import SSTDAlgorithm
+from repro.core import SSTD, SSTDConfig, evaluate_estimates
+from repro.core.acs import ACSConfig
+from repro.streams import (
+    StreamReplayer,
+    boston_bombing,
+    college_football,
+    generate_trace,
+)
+from repro.system import DistributedSSTD, SSTDSystemConfig
+from repro.text import RawTweet, TweetPipeline
+
+
+@pytest.fixture(scope="module")
+def football_trace():
+    return generate_trace(college_football().scaled(0.01), seed=11)
+
+
+@pytest.fixture(scope="module")
+def boston_trace():
+    return generate_trace(boston_bombing().scaled(0.01), seed=11)
+
+
+class TestAccuracyShape:
+    """The paper's headline claim: SSTD beats the baselines."""
+
+    def test_sstd_beats_static_methods_on_dynamic_trace(self, football_trace):
+        grid = EvaluationGrid(
+            football_trace.start, football_trace.end, step=3600.0
+        )
+        sstd = evaluate_estimates(
+            "SSTD",
+            SSTDAlgorithm().discover(football_trace.reports, grid),
+            football_trace.timelines,
+        )
+        vote = evaluate_estimates(
+            "vote",
+            MajorityVote().discover(football_trace.reports, grid),
+            football_trace.timelines,
+        )
+        assert sstd.accuracy > vote.accuracy
+
+    def test_sstd_beats_dynatd_on_accuracy(self, boston_trace):
+        grid = EvaluationGrid(boston_trace.start, boston_trace.end, step=3600.0)
+        sstd = evaluate_estimates(
+            "SSTD",
+            SSTDAlgorithm().discover(boston_trace.reports, grid),
+            boston_trace.timelines,
+        )
+        dynatd = evaluate_estimates(
+            "DynaTD",
+            DynaTD().discover(boston_trace.reports, grid),
+            boston_trace.timelines,
+        )
+        assert sstd.accuracy >= dynatd.accuracy
+
+    def test_all_methods_beat_coin_flip(self, boston_trace):
+        grid = EvaluationGrid(boston_trace.start, boston_trace.end, step=3600.0)
+        for algo in paper_comparison_set():
+            result = evaluate_estimates(
+                algo.name,
+                algo.discover(boston_trace.reports, grid),
+                boston_trace.timelines,
+            )
+            assert result.accuracy > 0.55, algo.name
+
+
+class TestDistributedEqualsSerial:
+    def test_estimates_identical_any_worker_count(self, boston_trace):
+        reports = boston_trace.reports[:3000]
+        config = SSTDConfig(acs=ACSConfig(window=3600.0, step=1800.0))
+        serial = sorted(
+            SSTD(config).discover(
+                reports, start=boston_trace.start, end=boston_trace.end
+            ),
+            key=lambda e: (e.claim_id, e.timestamp),
+        )
+        for workers in (2, 7):
+            system = DistributedSSTD(
+                SSTDSystemConfig(n_workers=workers, sstd=config)
+            )
+            result = system.run_batch(
+                reports, start=boston_trace.start, end=boston_trace.end
+            )
+            assert list(result.estimates) == serial
+
+
+class TestTextPipelineIntegration:
+    def test_generated_text_reclassified_consistently(self, boston_trace):
+        """The text pipeline's attitude labels agree with the generator's
+        ground-truth attitudes on an overwhelming majority of plain
+        (non-retweet, non-noise) reports."""
+        from repro.core.types import Attitude
+        from repro.text import AttitudeClassifier
+
+        classifier = AttitudeClassifier()
+        sample = [
+            r
+            for r in boston_trace.reports[:2000]
+            if not r.is_retweet and r.attitude is not Attitude.NEUTRAL
+        ]
+        agree = sum(
+            1
+            for report in sample
+            if classifier.classify(report.text) is report.attitude
+        )
+        assert agree / len(sample) > 0.85
+
+    def test_pipeline_to_sstd_flow(self):
+        """Raw tweets -> pipeline -> SSTD: the confirmed story decodes
+        TRUE while the debunked story (its own cluster) decodes FALSE."""
+        rng = np.random.default_rng(0)
+        pipeline = TweetPipeline()
+        tweets = []
+        confirm = (
+            "police confirm the bridge into town is closed",
+            "just saw it myself, the bridge into town is closed",
+            "update: bridge into town closed, police on scene",
+        )
+        deny = (
+            "the story about the mayor resigning is fake news, debunked",
+            "mayor resigning? not true, officials deny it",
+        )
+        for k in range(300):
+            t = float(k * 10)
+            if rng.random() < 0.7:
+                text = confirm[int(rng.integers(len(confirm)))]
+            else:
+                text = deny[int(rng.integers(len(deny)))]
+            tweets.append(RawTweet(f"user{k}", text, t))
+        reports = pipeline.process_stream(tweets)
+        assert len(reports) == 300
+
+        config = SSTDConfig(acs=ACSConfig(window=200.0, step=100.0))
+        engine = SSTD(config)
+        estimates = engine.discover(reports)
+        from collections import Counter
+        from repro.core import TruthValue
+
+        verdicts: dict[str, Counter] = {}
+        for estimate in estimates:
+            verdicts.setdefault(estimate.claim_id, Counter())[
+                estimate.value
+            ] += 1
+        # Identify clusters by which tweets they absorbed.
+        bridge_claims = {
+            r.claim_id for r in reports if "bridge" in r.text
+        }
+        mayor_claims = {r.claim_id for r in reports if "mayor" in r.text}
+        assert bridge_claims.isdisjoint(mayor_claims)
+        for claim_id in bridge_claims:
+            counts = verdicts[claim_id]
+            assert counts[TruthValue.TRUE] > counts[TruthValue.FALSE]
+        for claim_id in mayor_claims:
+            counts = verdicts[claim_id]
+            assert counts[TruthValue.FALSE] > counts[TruthValue.TRUE]
+
+
+class TestStreamingIntegration:
+    def test_replayed_stream_through_streaming_sstd(self, boston_trace):
+        from repro.core import StreamingSSTD
+
+        config = SSTDConfig(acs=ACSConfig(window=10.0, step=1.0))
+        engine = StreamingSSTD(config, retrain_every=20)
+        replayer = StreamReplayer(boston_trace, speed=50.0, duration=30.0)
+        n_estimates = 0
+        for batch in replayer.batches():
+            for report in batch.reports:
+                engine.push(report)
+            n_estimates += len(engine.tick(batch.arrival_time))
+        assert n_estimates > 0
+        assert engine.latest()
+
+
+class TestDeterminism:
+    def test_full_experiment_is_reproducible(self, boston_trace):
+        grid = EvaluationGrid(boston_trace.start, boston_trace.end, step=7200.0)
+        first = SSTDAlgorithm().discover(boston_trace.reports, grid)
+        second = SSTDAlgorithm().discover(boston_trace.reports, grid)
+        assert first == second

@@ -1,0 +1,125 @@
+"""Property-based tests for the stream substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import TruthValue
+from repro.streams import PopulationConfig, ScenarioSpec, TrafficModel
+from repro.streams.generator import generate_trace, generate_truth_timeline
+from repro.streams.sources import SourcePopulation
+
+
+def tiny_spec(n_reports, n_claims, mean_flips, duration):
+    return ScenarioSpec(
+        name="prop",
+        duration=duration,
+        n_reports=n_reports,
+        n_claims=n_claims,
+        claim_texts=("something happened",),
+        topic="t",
+        mean_truth_flips=mean_flips,
+        population=PopulationConfig(n_sources=50),
+    )
+
+
+class TestTimelineProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=100.0, max_value=1e6),
+    )
+    def test_timeline_partitions_duration(self, seed, mean_flips, duration):
+        spec = tiny_spec(10, 1, mean_flips, duration)
+        rng = np.random.default_rng(seed)
+        timeline = generate_truth_timeline("c", spec, rng)
+        assert timeline.start == 0.0
+        assert timeline.end == pytest.approx(duration)
+        # Labels tile the span with no gaps.
+        for prev, cur in zip(timeline.labels, timeline.labels[1:]):
+            assert cur.start == pytest.approx(prev.end)
+        # Consecutive labels alternate values (each boundary is a flip).
+        for prev, cur in zip(timeline.labels, timeline.labels[1:]):
+            assert prev.value != cur.value
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_value_at_is_total(self, seed):
+        spec = tiny_spec(10, 1, 3.0, 1000.0)
+        rng = np.random.default_rng(seed)
+        timeline = generate_truth_timeline("c", spec, rng)
+        for t in (-10.0, 0.0, 500.0, 999.9, 1e9):
+            assert timeline.value_at(t) in (TruthValue.TRUE, TruthValue.FALSE)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_generator_invariants(self, n_reports, n_claims, seed):
+        spec = tiny_spec(n_reports, n_claims, 1.0, 5000.0)
+        trace = generate_trace(spec, seed=seed)
+        assert len(trace.reports) == n_reports
+        timestamps = [r.timestamp for r in trace.reports]
+        assert timestamps == sorted(timestamps)
+        assert all(0.0 <= t <= spec.duration for t in timestamps)
+        claim_ids = {r.claim_id for r in trace.reports}
+        assert claim_ids <= set(trace.timelines)
+        assert {r.source_id for r in trace.reports} == set(trace.sources)
+        for report in trace.reports:
+            assert 0.0 <= report.uncertainty < 1.0
+            assert 0.0 < report.independence <= 1.0
+
+
+class TestTrafficProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=0.0, max_value=0.9),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_exact_sampling_properties(self, rate, diurnal, count, seed):
+        model = TrafficModel(base_rate=rate, diurnal_amplitude=diurnal)
+        times = model.sample_times_exact(0.0, 1000.0, count, rng=seed)
+        assert times.size == count
+        if count:
+            assert times.min() >= 0.0
+            assert times.max() <= 1000.0
+            assert (np.diff(times) >= 0).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=5.0),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_rate_array_nonnegative(self, rate, diurnal):
+        model = TrafficModel(base_rate=rate, diurnal_amplitude=diurnal)
+        values = model.rate_array(np.linspace(0, 1e6, 64))
+        assert (values > 0).all()
+        assert values.max() <= model.rate_bound() + 1e-9
+
+
+class TestPopulationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=2000),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_population_invariants(self, n_sources, zipf, seed):
+        population = SourcePopulation(
+            PopulationConfig(n_sources=n_sources, zipf_exponent=zipf),
+            rng=seed,
+        )
+        assert len(population) == n_sources
+        assert ((population.reliability >= 0) & (population.reliability <= 1)).all()
+        rng = np.random.default_rng(0)
+        draws = population.sample_indices(100, rng)
+        assert ((draws >= 0) & (draws < n_sources)).all()
+        expected = population.expected_active_sources(100)
+        assert 0 < expected <= min(100, n_sources)

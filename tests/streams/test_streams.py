@@ -1,0 +1,307 @@
+"""Tests for the synthetic stream substrate: traffic, sources, generator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streams import (
+    Burst,
+    GeneratorConfig,
+    PopulationConfig,
+    SourcePopulation,
+    TrafficModel,
+    boston_bombing,
+    bursts_at_transitions,
+    college_football,
+    generate_trace,
+    paris_shooting,
+)
+from repro.streams.events import SCENARIOS, ScenarioSpec
+from repro.streams.generator import generate_truth_timeline
+from repro.core.types import Attitude
+
+
+class TestBurst:
+    def test_intensity_before_burst_is_zero(self):
+        burst = Burst(at=100.0, amplitude=2.0, decay=10.0)
+        assert burst.intensity(50.0) == 0.0
+
+    def test_intensity_decays(self):
+        burst = Burst(at=0.0, amplitude=2.0, decay=10.0)
+        assert burst.intensity(0.0) == 2.0
+        assert burst.intensity(10.0) == pytest.approx(2.0 / math.e)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Burst(at=0.0, amplitude=-1.0, decay=1.0)
+        with pytest.raises(ValueError):
+            Burst(at=0.0, amplitude=1.0, decay=0.0)
+
+
+class TestTrafficModel:
+    def test_rate_positive(self):
+        model = TrafficModel(base_rate=2.0, diurnal_amplitude=0.5)
+        for t in np.linspace(0, 200000, 50):
+            assert model.rate(float(t)) > 0
+
+    def test_rate_array_matches_scalar(self):
+        model = TrafficModel(
+            base_rate=1.5,
+            bursts=(Burst(at=10.0, amplitude=3.0, decay=5.0),),
+        )
+        times = np.linspace(0, 100, 17)
+        vectorized = model.rate_array(times)
+        scalar = np.array([model.rate(float(t)) for t in times])
+        assert np.allclose(vectorized, scalar)
+
+    def test_burst_raises_rate(self):
+        quiet = TrafficModel(base_rate=1.0, diurnal_amplitude=0.0)
+        bursty = TrafficModel(
+            base_rate=1.0,
+            diurnal_amplitude=0.0,
+            bursts=(Burst(at=50.0, amplitude=5.0, decay=20.0),),
+        )
+        assert bursty.rate(51.0) > quiet.rate(51.0) * 4
+
+    def test_sample_times_exact_count_and_range(self):
+        model = TrafficModel(base_rate=0.5)
+        times = model.sample_times_exact(0.0, 1000.0, 500, rng=0)
+        assert times.size == 500
+        assert times.min() >= 0.0 and times.max() <= 1000.0
+        assert (np.diff(times) >= 0).all()
+
+    def test_sample_times_poisson_count(self):
+        model = TrafficModel(base_rate=1.0, diurnal_amplitude=0.0)
+        times = model.sample_times(0.0, 10000.0, rng=1)
+        # Poisson(10000): within 5 sigma
+        assert abs(times.size - 10000) < 5 * 100
+
+    def test_samples_concentrate_in_burst(self):
+        model = TrafficModel(
+            base_rate=1.0,
+            diurnal_amplitude=0.0,
+            bursts=(Burst(at=500.0, amplitude=20.0, decay=50.0),),
+        )
+        times = model.sample_times_exact(0.0, 1000.0, 4000, rng=2)
+        in_burst = np.sum((times >= 500.0) & (times <= 650.0))
+        # burst window is 15% of the span but should hold far more mass
+        assert in_burst / times.size > 0.4
+
+    def test_zero_count(self):
+        model = TrafficModel(base_rate=1.0)
+        assert model.sample_times_exact(0.0, 10.0, 0, rng=0).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficModel(base_rate=0.0)
+        with pytest.raises(ValueError):
+            TrafficModel(diurnal_amplitude=1.0)
+        model = TrafficModel()
+        with pytest.raises(ValueError):
+            model.sample_times(10.0, 5.0)
+        with pytest.raises(ValueError):
+            model.sample_times_exact(0.0, 10.0, -1)
+
+    def test_bursts_at_transitions(self):
+        bursts = bursts_at_transitions([1.0, 2.0], amplitude=3.0, decay=9.0)
+        assert len(bursts) == 2
+        assert bursts[0].at == 1.0 and bursts[0].amplitude == 3.0
+
+
+class TestSourcePopulation:
+    def test_reliability_ranges_respected(self):
+        config = PopulationConfig(n_sources=5000)
+        population = SourcePopulation(config, rng=0)
+        spreaders = population.reliability[population.is_spreader]
+        others = population.reliability[~population.is_spreader]
+        assert spreaders.max() <= config.spreader_range[1]
+        assert others.min() >= config.noisy_range[0]
+
+    def test_spreader_fraction_approx(self):
+        config = PopulationConfig(n_sources=20000, spreader_fraction=0.1)
+        population = SourcePopulation(config, rng=1)
+        assert population.is_spreader.mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_sample_indices_heavy_tail(self):
+        config = PopulationConfig(n_sources=1000, zipf_exponent=1.2)
+        population = SourcePopulation(config, rng=2)
+        rng = np.random.default_rng(3)
+        draws = population.sample_indices(5000, rng)
+        counts = np.bincount(draws, minlength=1000)
+        # top 10% of sources should hold well over 10% of reports
+        top = np.sort(counts)[-100:].sum()
+        assert top / 5000 > 0.3
+
+    def test_materialize(self):
+        population = SourcePopulation(PopulationConfig(n_sources=10), rng=0)
+        sources = population.materialize([0, 3, 3])
+        assert set(sources) == {"src-0000000", "src-0000003"}
+
+    def test_expected_active_sources_bounds(self):
+        population = SourcePopulation(PopulationConfig(n_sources=100), rng=0)
+        expected = population.expected_active_sources(50)
+        assert 0 < expected <= 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_sources=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(reliable_fraction=0.8, spreader_fraction=0.3)
+        with pytest.raises(ValueError):
+            PopulationConfig(reliable_range=(0.9, 0.5))
+
+
+class TestTruthTimelineGeneration:
+    def test_covers_duration(self):
+        spec = boston_bombing().scaled(0.01)
+        rng = np.random.default_rng(0)
+        timeline = generate_truth_timeline("c", spec, rng)
+        assert timeline.start == 0.0
+        assert timeline.end == spec.duration
+
+    def test_no_flips_when_rate_zero(self):
+        spec = ScenarioSpec(
+            name="static", duration=1000.0, n_reports=10, n_claims=1,
+            claim_texts=("x",), topic="t", mean_truth_flips=0.0,
+        )
+        rng = np.random.default_rng(0)
+        timeline = generate_truth_timeline("c", spec, rng)
+        assert timeline.transition_times() == []
+
+    def test_flip_count_scales_with_rate(self):
+        spec = college_football()
+        rng = np.random.default_rng(0)
+        flips = [
+            len(generate_truth_timeline(f"c{i}", spec, rng).transition_times())
+            for i in range(50)
+        ]
+        assert np.mean(flips) == pytest.approx(spec.mean_truth_flips, rel=0.4)
+
+
+class TestScenarioSpecs:
+    @pytest.mark.parametrize(
+        "factory",
+        [SCENARIOS[name] for name in ("boston", "paris", "football")],
+    )
+    def test_paper_sizes(self, factory):
+        """The three Table II traces match the paper's volumes."""
+        spec = factory()
+        assert spec.n_reports > 250_000
+        assert spec.duration in (3 * 86400.0, 4 * 86400.0)
+
+    def test_osu_demo_scenario(self):
+        """The OSU scenario (paper's intro example) is demo-sized."""
+        spec = SCENARIOS["osu"]()
+        assert spec.n_reports < 100_000
+        assert spec.duration == 86_400.0
+        assert spec.mean_truth_flips > 0
+
+    def test_scaled_reduces_volume(self):
+        spec = boston_bombing()
+        small = spec.scaled(0.1)
+        assert small.n_reports == pytest.approx(spec.n_reports * 0.1, rel=0.01)
+        assert small.n_claims == spec.n_claims
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            boston_bombing().scaled(0.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", duration=0.0, n_reports=1, n_claims=1,
+                claim_texts=("a",), topic="t",
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", duration=1.0, n_reports=1, n_claims=0,
+                claim_texts=("a",), topic="t",
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", duration=1.0, n_reports=1, n_claims=1,
+                claim_texts=(), topic="t",
+            )
+
+
+class TestGenerateTrace:
+    @pytest.fixture(scope="class")
+    def small_trace(self):
+        return generate_trace(paris_shooting().scaled(0.01), seed=7)
+
+    def test_deterministic(self, small_trace):
+        again = generate_trace(paris_shooting().scaled(0.01), seed=7)
+        assert again.reports == small_trace.reports
+
+    def test_seed_changes_output(self, small_trace):
+        other = generate_trace(paris_shooting().scaled(0.01), seed=8)
+        assert other.reports != small_trace.reports
+
+    def test_report_count_exact(self, small_trace):
+        spec = paris_shooting().scaled(0.01)
+        assert len(small_trace.reports) == spec.n_reports
+
+    def test_reports_sorted(self, small_trace):
+        timestamps = [r.timestamp for r in small_trace.reports]
+        assert timestamps == sorted(timestamps)
+
+    def test_all_claims_have_timelines(self, small_trace):
+        claim_ids = {r.claim_id for r in small_trace.reports}
+        assert claim_ids <= set(small_trace.timelines)
+
+    def test_sources_are_active_only(self, small_trace):
+        active = {r.source_id for r in small_trace.reports}
+        assert set(small_trace.sources) == active
+
+    def test_retweets_have_low_independence(self, small_trace):
+        retweets = [r for r in small_trace.reports if r.is_retweet]
+        originals = [r for r in small_trace.reports if not r.is_retweet]
+        assert retweets, "expected some retweets"
+        assert max(r.independence for r in retweets) < min(
+            r.independence for r in originals
+        )
+
+    def test_retweet_text_marked(self, small_trace):
+        retweets = [r for r in small_trace.reports if r.is_retweet]
+        assert all(r.text.startswith("RT @") for r in retweets)
+
+    def test_attitudes_mostly_track_truth(self, small_trace):
+        """Reliable majority means attitudes correlate with ground truth."""
+        agree_with_truth = 0
+        total = 0
+        for report in small_trace.reports:
+            if report.is_retweet or not report.attitude:
+                continue
+            truth = small_trace.timelines[report.claim_id].value_at(
+                report.timestamp
+            )
+            says_true = report.attitude is Attitude.AGREE
+            total += 1
+            if says_true == bool(truth):
+                agree_with_truth += 1
+        assert agree_with_truth / total > 0.6
+
+    def test_hedged_reports_have_higher_uncertainty(self, small_trace):
+        hedged = [r for r in small_trace.reports if r.uncertainty >= 0.4]
+        assert 0.1 < len(hedged) / len(small_trace.reports) < 0.5
+
+    def test_without_text(self):
+        spec = paris_shooting().scaled(0.005)
+        trace = generate_trace(
+            spec, seed=0, config=GeneratorConfig(with_text=False)
+        )
+        assert all(r.text == "" for r in trace.reports)
+
+    def test_stats_row(self, small_trace):
+        stats = small_trace.stats()
+        assert stats.n_reports == len(small_trace.reports)
+        assert stats.n_sources == len(small_trace.sources)
+        row = stats.as_row()
+        assert row["data_trace"] == "Paris Shooting"
+
+    def test_sparsity_matches_paper_regime(self, small_trace):
+        """Most sources contribute very few reports (Table II ratios)."""
+        stats = small_trace.stats()
+        assert stats.n_sources / stats.n_reports > 0.6

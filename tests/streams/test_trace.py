@@ -1,0 +1,209 @@
+"""Tests for the Trace container: stats, subsets, serialization, replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import (
+    Attitude,
+    Claim,
+    Report,
+    Source,
+    TruthLabel,
+    TruthTimeline,
+    TruthValue,
+)
+from repro.streams import (
+    StreamReplayer,
+    Trace,
+    generate_trace,
+    merge_traces,
+    paris_shooting,
+)
+
+
+def tiny_trace(name="t", claim="c1", n=20):
+    reports = [
+        Report(
+            f"s{i}", claim, float(i),
+            attitude=Attitude.AGREE if i % 2 else Attitude.DISAGREE,
+            uncertainty=0.1, independence=0.9,
+            text=f"report {i}", is_retweet=bool(i % 5 == 0 and i),
+        )
+        for i in range(n)
+    ]
+    return Trace(
+        name=name,
+        reports=reports,
+        sources={f"s{i}": Source(f"s{i}", reliability=0.7) for i in range(n)},
+        claims={claim: Claim(claim, text="something happened")},
+        timelines={
+            claim: TruthTimeline(
+                claim,
+                [
+                    TruthLabel(claim, 0.0, 10.0, TruthValue.FALSE),
+                    TruthLabel(claim, 10.0, 20.0, TruthValue.TRUE),
+                ],
+            )
+        },
+    )
+
+
+class TestTrace:
+    def test_reports_sorted_on_construction(self):
+        reports = [
+            Report("a", "c", 5.0, attitude=Attitude.AGREE),
+            Report("b", "c", 1.0, attitude=Attitude.AGREE),
+        ]
+        trace = Trace(name="x", reports=reports)
+        assert [r.timestamp for r in trace.reports] == [1.0, 5.0]
+
+    def test_span(self):
+        trace = tiny_trace()
+        assert trace.start == 0.0 and trace.end == 19.0
+
+    def test_empty_span(self):
+        trace = Trace(name="empty", reports=[])
+        assert trace.start == 0.0 and trace.end == 0.0
+
+    def test_subset_prefix(self):
+        trace = tiny_trace()
+        sub = trace.subset(5)
+        assert len(sub.reports) == 5
+        assert sub.reports == trace.reports[:5]
+        assert sub.timelines is trace.timelines
+
+    def test_subset_validation(self):
+        with pytest.raises(ValueError):
+            tiny_trace().subset(-1)
+
+    def test_reports_between(self):
+        trace = tiny_trace()
+        window = trace.reports_between(5.0, 10.0)
+        assert [r.timestamp for r in window] == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_stats(self):
+        stats = tiny_trace().stats()
+        assert stats.n_reports == 20
+        assert stats.n_sources == 20
+        assert stats.n_claims == 1
+        assert stats.duration_days == pytest.approx(19.0 / 86400.0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        trace = tiny_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.reports == trace.reports
+        assert loaded.sources == trace.sources
+        assert loaded.claims == trace.claims
+        assert set(loaded.timelines) == set(trace.timelines)
+        for cid in trace.timelines:
+            assert loaded.timelines[cid].labels == trace.timelines[cid].labels
+
+    def test_roundtrip_generated(self, tmp_path):
+        trace = generate_trace(paris_shooting().scaled(0.002), seed=3)
+        path = tmp_path / "gen.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.reports == trace.reports
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            Trace.load(path)
+
+
+class TestMergeTraces:
+    def test_merge(self):
+        a = tiny_trace(name="a", claim="c1")
+        b = tiny_trace(name="b", claim="c2")
+        # Rename b's sources to avoid collisions.
+        b = Trace(
+            name="b",
+            reports=[
+                Report(
+                    "x" + r.source_id, r.claim_id, r.timestamp,
+                    attitude=r.attitude,
+                )
+                for r in b.reports
+            ],
+            sources={
+                "x" + sid: Source("x" + sid) for sid in b.sources
+            },
+            claims=b.claims,
+            timelines=b.timelines,
+        )
+        merged = merge_traces("ab", [a, b])
+        assert len(merged.reports) == 40
+        assert set(merged.claims) == {"c1", "c2"}
+
+    def test_duplicate_ids_rejected(self):
+        a = tiny_trace(name="a")
+        b = tiny_trace(name="b")
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_traces("ab", [a, b])
+
+
+class TestStreamReplayer:
+    def test_total_reports_capped_by_trace(self):
+        trace = tiny_trace(n=20)
+        replayer = StreamReplayer(trace, speed=100.0, duration=10.0)
+        assert replayer.total_reports() == 20
+
+    def test_total_reports_capped_by_rate(self):
+        trace = tiny_trace(n=20)
+        replayer = StreamReplayer(trace, speed=1.0, duration=10.0)
+        assert replayer.total_reports() == 10
+
+    def test_batches_cover_duration(self):
+        trace = tiny_trace(n=20)
+        replayer = StreamReplayer(trace, speed=2.0, duration=10.0)
+        batches = list(replayer.batches())
+        assert len(batches) == 10
+        assert sum(len(b.reports) for b in batches) == 20
+
+    def test_batch_timestamps_within_second(self):
+        trace = tiny_trace(n=20)
+        replayer = StreamReplayer(trace, speed=2.0, duration=10.0)
+        for batch in replayer.batches():
+            for report in batch.reports:
+                assert batch.second <= report.timestamp < batch.second + 1
+
+    def test_order_preserved(self):
+        trace = generate_trace(paris_shooting().scaled(0.002), seed=1)
+        replayer = StreamReplayer(trace, speed=50.0, duration=10.0)
+        seen = [
+            r.claim_id
+            for batch in replayer.batches()
+            for r in batch.reports
+        ]
+        expected = [r.claim_id for r in trace.reports[: len(seen)]]
+        assert seen == expected
+
+    def test_empty_trace(self):
+        trace = Trace(name="empty", reports=[])
+        replayer = StreamReplayer(trace, speed=10.0, duration=5.0)
+        batches = list(replayer.batches())
+        assert len(batches) == 5
+        assert all(not b.reports for b in batches)
+
+    def test_chunked_groups_batches(self):
+        trace = tiny_trace(n=20)
+        replayer = StreamReplayer(trace, speed=2.0, duration=10.0)
+        chunks = list(replayer.chunked(5.0))
+        assert len(chunks) == 2
+        assert sum(len(reports) for _, reports in chunks) == 20
+
+    def test_validation(self):
+        trace = tiny_trace()
+        with pytest.raises(ValueError):
+            StreamReplayer(trace, speed=0.0)
+        with pytest.raises(ValueError):
+            StreamReplayer(trace, speed=1.0, duration=0.0)
+        replayer = StreamReplayer(trace, speed=1.0)
+        with pytest.raises(ValueError):
+            list(replayer.chunked(0.0))

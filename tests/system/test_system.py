@@ -1,0 +1,262 @@
+"""Tests for TD jobs, deadline tracking, DTM, and the integrated system."""
+
+import pytest
+
+from repro.cluster import CondorPool, Simulator, uniform_pool
+from repro.control import WCETModel
+from repro.core.types import Attitude, Report
+from repro.system import (
+    DTMConfig,
+    DeadlineTracker,
+    DistributedSSTD,
+    DynamicTaskManager,
+    SSTDSystemConfig,
+    TDJob,
+    hit_rate_curve,
+)
+from repro.system.deadline import IntervalRecord
+from repro.workqueue import CostModel, ElasticWorkerPool, Task, WorkQueueMaster
+
+
+def reports_for(claim_id, n=10, start=0.0):
+    return [
+        Report(
+            f"s{i}", claim_id, start + float(i),
+            attitude=Attitude.AGREE if i % 2 else Attitude.DISAGREE,
+        )
+        for i in range(n)
+    ]
+
+
+class TestTDJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TDJob(job_id="", claim_id="c")
+        with pytest.raises(ValueError):
+            TDJob(job_id="j", claim_id="c", deadline=0.0)
+        with pytest.raises(ValueError):
+            TDJob(job_id="j", claim_id="c", tasks_per_batch=0)
+
+    def test_make_tasks_single(self):
+        job = TDJob(job_id="j", claim_id="c")
+        (task,) = job.make_tasks(reports_for("c", 10))
+        assert task.data_size == 10.0
+        assert task.job_id == "j"
+
+    def test_make_tasks_splits_equally(self):
+        job = TDJob(job_id="j", claim_id="c", tasks_per_batch=3)
+        tasks = job.make_tasks(reports_for("c", 10))
+        assert [t.data_size for t in tasks] == [4.0, 3.0, 3.0]
+
+    def test_make_tasks_caps_at_report_count(self):
+        job = TDJob(job_id="j", claim_id="c", tasks_per_batch=10)
+        tasks = job.make_tasks(reports_for("c", 3))
+        assert len(tasks) == 3
+
+    def test_empty_batch_yields_one_empty_task(self):
+        job = TDJob(job_id="j", claim_id="c")
+        (task,) = job.make_tasks([])
+        assert task.data_size == 0.0
+
+    def test_payload_receives_chunk(self):
+        job = TDJob(job_id="j", claim_id="c", tasks_per_batch=2)
+        seen = []
+        tasks = job.make_tasks(reports_for("c", 4), payload=seen.append)
+        for task in tasks:
+            task.run()
+        assert sorted(len(chunk) for chunk in seen) == [2, 2]
+
+    def test_accounting(self):
+        job = TDJob(job_id="j", claim_id="c")
+        job.make_tasks(reports_for("c", 5))
+        job.make_tasks(reports_for("c", 7))
+        assert job.reports_seen == 12
+        assert job.batches_submitted == 2
+
+
+class TestDeadlineTracker:
+    def test_hit_rate(self):
+        tracker = DeadlineTracker(deadline=5.0)
+        tracker.record(0, 100, 3.0)
+        tracker.record(1, 100, 7.0)
+        tracker.record(2, 100, 5.0)
+        assert tracker.hit_rate == pytest.approx(2 / 3)
+        assert tracker.total_lateness == pytest.approx(2.0)
+        assert tracker.mean_execution_time == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert DeadlineTracker(deadline=1.0).hit_rate == 0.0
+
+    def test_record_validation(self):
+        tracker = DeadlineTracker(deadline=1.0)
+        with pytest.raises(ValueError):
+            tracker.record(0, 1, -1.0)
+        with pytest.raises(ValueError):
+            DeadlineTracker(deadline=0.0)
+
+    def test_interval_record(self):
+        record = IntervalRecord(0, 10, execution_time=3.0, deadline=5.0)
+        assert record.hit and record.lateness == 0.0
+        late = IntervalRecord(1, 10, execution_time=9.0, deadline=5.0)
+        assert not late.hit and late.lateness == 4.0
+
+    def test_hit_rate_curve_monotone(self):
+        times = [1.0, 3.0, 5.0, 9.0]
+        curve = hit_rate_curve(times, [0.5, 2.0, 6.0, 10.0])
+        rates = [rate for _, rate in curve]
+        assert rates == sorted(rates)
+        assert rates[-1] == 1.0
+
+    def test_hit_rate_curve_validation(self):
+        with pytest.raises(ValueError):
+            hit_rate_curve([1.0], [0.0])
+
+
+class TestDynamicTaskManager:
+    def _stack(self, elastic=True, n_workers=2):
+        simulator = Simulator()
+        condor = CondorPool(uniform_pool(8, cores=4))
+        master = WorkQueueMaster(simulator, rng=0)
+        cost = CostModel(init_time=0.1, unit_cost=0.01, transfer_cost=0.0)
+        pool = ElasticWorkerPool(simulator, master, condor, cost)
+        pool.scale_to(n_workers)
+        wcet = WCETModel(init_time=0.1, theta1=0.01, theta2=0.01)
+        dtm = DynamicTaskManager(
+            simulator, master, pool, wcet, DTMConfig(elastic=elastic)
+        )
+        return simulator, master, pool, dtm
+
+    def test_register_job_twice_rejected(self):
+        _, _, _, dtm = self._stack()
+        dtm.register_job(TDJob(job_id="a", claim_id="a"))
+        with pytest.raises(ValueError, match="already registered"):
+            dtm.register_job(TDJob(job_id="a", claim_id="a"))
+
+    def test_late_job_priority_rises(self):
+        simulator, master, pool, dtm = self._stack(elastic=False)
+        job = TDJob(job_id="late", claim_id="late", deadline=0.5)
+        dtm.register_job(job)
+        dtm.start()
+        # Far more work than can be done within the deadline.
+        for _ in range(20):
+            master.submit(Task(job_id="late", data_size=500.0))
+        simulator.run(until=5.0)
+        assert master.priority_of("late") > 1.0
+
+    def test_elastic_pool_grows_under_pressure(self):
+        simulator, master, pool, dtm = self._stack(elastic=True, n_workers=1)
+        job = TDJob(job_id="a", claim_id="a", deadline=0.5)
+        dtm.register_job(job)
+        dtm.start()
+        for _ in range(50):
+            master.submit(Task(job_id="a", data_size=500.0))
+        simulator.run(until=10.0)
+        assert pool.size > 1
+
+    def test_idle_jobs_not_sampled(self):
+        simulator, master, pool, dtm = self._stack()
+        dtm.register_job(TDJob(job_id="idle", claim_id="idle"))
+        dtm.start()
+        simulator.run(until=5.0)
+        assert dtm.signal_log == []
+
+    def test_stop_halts_sampling(self):
+        simulator, master, pool, dtm = self._stack()
+        dtm.register_job(TDJob(job_id="a", claim_id="a", deadline=0.5))
+        dtm.start()
+        master.submit(Task(job_id="a", data_size=1000.0))
+        simulator.run(until=2.0)
+        samples = len(dtm.signal_log)
+        dtm.stop()
+        simulator.run(until=10.0)
+        assert len(dtm.signal_log) == samples
+
+
+class TestDistributedSSTD:
+    def _reports(self):
+        reports = []
+        for claim in ("c1", "c2", "c3"):
+            reports.extend(reports_for(claim, 50))
+        return reports
+
+    def test_batch_estimates_match_serial(self):
+        from repro.core import SSTD, SSTDConfig
+        from repro.core.acs import ACSConfig
+
+        sstd_config = SSTDConfig(acs=ACSConfig(window=10.0, step=5.0))
+        reports = self._reports()
+        serial = SSTD(sstd_config).discover(reports, start=0.0, end=50.0)
+        system = DistributedSSTD(
+            SSTDSystemConfig(n_workers=3, sstd=sstd_config)
+        )
+        result = system.run_batch(reports, start=0.0, end=50.0)
+        assert list(result.estimates) == sorted(
+            serial, key=lambda e: (e.claim_id, e.timestamp)
+        )
+
+    def test_more_workers_shorter_makespan(self):
+        reports = self._reports()
+        slow = DistributedSSTD(SSTDSystemConfig(n_workers=1)).run_batch(reports)
+        fast = DistributedSSTD(SSTDSystemConfig(n_workers=3)).run_batch(reports)
+        assert fast.makespan < slow.makespan
+
+    def test_batch_metrics(self):
+        result = DistributedSSTD(SSTDSystemConfig(n_workers=2)).run_batch(
+            self._reports()
+        )
+        assert result.n_jobs == 3
+        assert result.n_tasks >= 3
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_run_intervals_tracks_deadlines(self):
+        from repro.streams import Trace
+
+        trace = Trace(name="t", reports=self._reports())
+        system = DistributedSSTD(
+            SSTDSystemConfig(
+                n_workers=2,
+                deadline=5.0,
+                cost_model=CostModel(init_time=0.01, unit_cost=0.001),
+            )
+        )
+        result = system.run_intervals(trace, n_intervals=5)
+        assert len(result.tracker.records) == 5
+        assert 0.0 <= result.hit_rate <= 1.0
+
+    def test_tight_deadline_lowers_hit_rate(self):
+        from repro.streams import Trace
+
+        trace = Trace(name="t", reports=self._reports())
+        cost = CostModel(init_time=0.5, unit_cost=0.05)
+
+        def run(deadline):
+            return DistributedSSTD(
+                SSTDSystemConfig(
+                    n_workers=1,
+                    max_workers=1,
+                    deadline=deadline,
+                    cost_model=cost,
+                    control_enabled=False,
+                )
+            ).run_intervals(trace, n_intervals=5).hit_rate
+
+        assert run(0.05) <= run(100.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SSTDSystemConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            SSTDSystemConfig(deadline=0.0)
+        with pytest.raises(ValueError):
+            SSTDSystemConfig(tasks_per_job=0)
+
+    def test_interval_validation(self):
+        from repro.streams import Trace
+
+        system = DistributedSSTD()
+        with pytest.raises(ValueError):
+            system.run_intervals(
+                Trace(name="t", reports=self._reports()), n_intervals=0
+            )
+        with pytest.raises(ValueError):
+            system.run_intervals(Trace(name="empty", reports=[]))

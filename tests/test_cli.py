@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.streams import Trace, paris_shooting, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "paris.jsonl"
+    trace = generate_trace(paris_shooting().scaled(0.002), seed=3)
+    trace.save(path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_method_rejected(self, trace_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["discover", str(trace_path), "--method", "nope"]
+            )
+
+
+class TestGenerate:
+    def test_generates_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            ["generate", "paris", str(out), "--scale", "0.002", "--seed", "5"]
+        )
+        assert code == 0
+        assert out.exists()
+        trace = Trace.load(out)
+        assert trace.reports
+        assert "reports" in capsys.readouterr().out
+
+    def test_no_text_flag(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        main(
+            ["generate", "paris", str(out), "--scale", "0.002", "--no-text"]
+        )
+        trace = Trace.load(out)
+        assert all(r.text == "" for r in trace.reports)
+
+
+class TestDiscover:
+    def test_prints_verdicts(self, trace_path, capsys):
+        code = main(
+            ["discover", str(trace_path), "--method", "MajorityVote",
+             "--limit", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "claims decoded" in out
+        assert "claim-" in out
+
+    def test_empty_trace_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        Trace(name="empty", reports=[]).save(path)
+        assert main(["discover", str(path)]) == 1
+
+
+class TestEvaluate:
+    def test_prints_metrics_table(self, trace_path, capsys):
+        code = main(
+            ["evaluate", str(trace_path), "--methods", "MajorityVote",
+             "DynaTD", "--step", "3600"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Accuracy" in out
+        assert "MajorityVote" in out and "DynaTD" in out
+
+    def test_no_ground_truth_errors(self, tmp_path):
+        from repro.core.types import Attitude, Report
+
+        path = tmp_path / "nolabels.jsonl"
+        Trace(
+            name="x",
+            reports=[Report("s", "c", 1.0, attitude=Attitude.AGREE)],
+        ).save(path)
+        assert main(["evaluate", str(path)]) == 1
+
+
+class TestStats:
+    def test_prints_statistics(self, trace_path, capsys):
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "#_of_reports" in out
+        assert "truth transitions" in out
+
+
+class TestReplay:
+    def test_replays_and_reports(self, trace_path, capsys):
+        code = main(
+            ["replay", str(trace_path), "--speed", "30", "--duration", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "claims tracked" in out
