@@ -24,6 +24,15 @@ import numpy as np
 
 from repro.core.types import Report, TruthEstimate, TruthValue
 
+__all__ = [
+    "BatchTruthDiscovery",
+    "EvaluationGrid",
+    "TruthDiscoveryAlgorithm",
+    "group_by_claim",
+    "positive_fraction_decision",
+    "source_claim_votes",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class EvaluationGrid:

@@ -23,6 +23,10 @@ from scipy import stats
 from repro.baselines.base import BatchTruthDiscovery, source_claim_votes
 from repro.core.types import Report, TruthValue
 
+__all__ = [
+    "CATD",
+]
+
 _EPS = 1e-9
 
 

@@ -25,6 +25,10 @@ from typing import Sequence
 from repro.baselines.base import EvaluationGrid, TruthDiscoveryAlgorithm
 from repro.core.types import Report, TruthEstimate, TruthValue
 
+__all__ = [
+    "DynaTD",
+]
+
 _EPS = 1e-9
 
 

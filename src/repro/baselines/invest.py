@@ -19,6 +19,11 @@ from typing import Mapping, Sequence
 from repro.baselines.base import BatchTruthDiscovery, source_claim_votes
 from repro.core.types import Report, TruthValue
 
+__all__ = [
+    "Invest",
+    "PooledInvest",
+]
+
 _EPS = 1e-9
 
 

@@ -23,6 +23,14 @@ from repro.core.acs import ACSConfig
 from repro.core.sstd import SSTD, SSTDConfig
 from repro.core.types import Report, TruthEstimate
 
+__all__ = [
+    "ALGORITHM_FACTORIES",
+    "PAPER_TABLE_METHODS",
+    "SSTDAlgorithm",
+    "make_algorithm",
+    "paper_comparison_set",
+]
+
 
 class SSTDAlgorithm(TruthDiscoveryAlgorithm):
     """Adapter exposing the SSTD engine through the common interface.

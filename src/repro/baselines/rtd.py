@@ -26,6 +26,10 @@ from typing import Mapping, Sequence
 from repro.baselines.base import BatchTruthDiscovery
 from repro.core.types import Report, TruthValue
 
+__all__ = [
+    "RTD",
+]
+
 _EPS = 1e-9
 
 

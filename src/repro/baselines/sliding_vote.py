@@ -16,6 +16,10 @@ from typing import Sequence
 from repro.baselines.base import EvaluationGrid, TruthDiscoveryAlgorithm
 from repro.core.types import Report, TruthEstimate, TruthValue
 
+__all__ = [
+    "SlidingVote",
+]
+
 
 class SlidingVote(TruthDiscoveryAlgorithm):
     """Majority vote over a sliding time window, per claim.

@@ -25,6 +25,10 @@ import numpy as np
 from repro.baselines.base import BatchTruthDiscovery, source_claim_votes
 from repro.core.types import Report, TruthValue
 
+__all__ = [
+    "ThreeEstimates",
+]
+
 _EPS = 1e-9
 
 

@@ -26,6 +26,10 @@ from typing import Mapping, Sequence
 from repro.baselines.base import BatchTruthDiscovery, source_claim_votes
 from repro.core.types import Report, TruthValue
 
+__all__ = [
+    "TruthFinder",
+]
+
 _EPS = 1e-6
 
 

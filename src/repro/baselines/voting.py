@@ -17,6 +17,11 @@ from repro.baselines.base import (
 )
 from repro.core.types import Report, TruthValue
 
+__all__ = [
+    "MajorityVote",
+    "MedianVote",
+]
+
 
 class MajorityVote(BatchTruthDiscovery):
     """One vote per (source, claim); majority sign wins."""

@@ -9,7 +9,9 @@ Subcommands mirror the workflows of the examples and benchmarks:
   trace's ground truth and print the paper-style metrics table;
 - ``repro-cli stats`` — print a trace's Table-II-style statistics;
 - ``repro-cli replay`` — stream a trace through the streaming engine at
-  a chosen rate and report flips as they are detected.
+  a chosen rate and report flips as they are detected;
+- ``repro-cli lint`` — run the project's SSTD static-analysis rules
+  (see :mod:`repro.devtools.lint`); exits non-zero on findings.
 
 Install the package and run ``python -m repro.cli --help``.
 """
@@ -27,6 +29,11 @@ from repro.core import evaluate_estimates, format_results_table
 from repro.core.types import TruthValue
 from repro.streams import SCENARIOS, StreamReplayer, Trace, generate_trace
 from repro.streams.generator import GeneratorConfig
+
+__all__ = [
+    "build_parser",
+    "main",
+]
 
 
 def _add_generate(subparsers: argparse._SubParsersAction) -> None:
@@ -215,6 +222,41 @@ def _run_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_lint(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the SSTD static-analysis rules (exit 1 on findings)",
+        description=(
+            "Project-specific lint: SSTD001 exception hygiene, SSTD002 "
+            "mutable defaults, SSTD003 lock discipline, SSTD004 seeded "
+            "randomness, SSTD005 probability-safe log/exp, SSTD006 "
+            "__all__ declarations. Suppress a finding with a trailing "
+            "'# noqa: SSTD###' comment."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids, e.g. SSTD003,SSTD004")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print registered rules and exit")
+    parser.set_defaults(func=_run_lint)
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint.cli import main as lint_main
+
+    argv: list[str] = [str(p) for p in args.paths]
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cli",
@@ -226,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate(subparsers)
     _add_stats(subparsers)
     _add_replay(subparsers)
+    _add_lint(subparsers)
     return parser
 
 

@@ -15,6 +15,12 @@ from typing import Iterable
 from repro.cluster.node import ComputeNode, NodeSpec
 from repro.cluster.resources import WORKER_FOOTPRINT, ResourceSpec
 
+__all__ = [
+    "CondorPool",
+    "MatchmakingError",
+    "Placement",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class Placement:

@@ -23,6 +23,12 @@ from repro.cluster.node import ComputeNode
 from repro.cluster.simulation import Simulator
 from repro.workqueue.master import WorkQueueMaster
 
+__all__ = [
+    "FailureConfig",
+    "FailureInjector",
+    "FailureLogEntry",
+]
+
 
 @dataclass
 class FailureLogEntry:

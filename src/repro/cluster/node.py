@@ -16,6 +16,13 @@ import numpy as np
 
 from repro.cluster.resources import ResourceLedger, ResourceSpec
 
+__all__ = [
+    "ComputeNode",
+    "NodeSpec",
+    "heterogeneous_pool",
+    "uniform_pool",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class NodeSpec:

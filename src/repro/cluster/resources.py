@@ -10,6 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = [
+    "ResourceError",
+    "ResourceLedger",
+    "ResourceSpec",
+    "WORKER_FOOTPRINT",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class ResourceSpec:

@@ -21,6 +21,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
+__all__ = [
+    "EventHandle",
+    "PeriodicTask",
+    "Simulator",
+]
+
 
 @dataclass(order=True)
 class _ScheduledEvent:

@@ -15,6 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = [
+    "GlobalControlKnob",
+    "KnobConfig",
+    "LocalControlKnob",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class KnobConfig:

@@ -16,6 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = [
+    "PAPER_GAINS",
+    "PIDController",
+    "PIDGains",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class PIDGains:

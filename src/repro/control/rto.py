@@ -35,6 +35,12 @@ from typing import Sequence
 
 from repro.control.wcet import WCETModel
 
+__all__ = [
+    "Allocation",
+    "JobDemand",
+    "RTOAllocator",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class JobDemand:

@@ -17,6 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = [
+    "WCETModel",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class WCETModel:

@@ -40,6 +40,13 @@ import numpy as np
 from repro.core.scores import FULL_WEIGHTS, ScoreWeights
 from repro.core.types import Report
 
+__all__ = [
+    "ACSConfig",
+    "SlidingWindowACS",
+    "acs_at",
+    "acs_sequence",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class ACSConfig:

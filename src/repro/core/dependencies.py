@@ -39,6 +39,12 @@ from repro.core.acs import acs_sequence
 from repro.core.sstd import ClaimTruthModel, SSTD, SSTDConfig
 from repro.core.types import Report, TruthEstimate
 
+__all__ = [
+    "ClaimDependencyGraph",
+    "CorrelatedSSTD",
+    "CorrelationConfig",
+]
+
 
 class ClaimDependencyGraph:
     """Weighted undirected graph of claim correlations."""

@@ -12,6 +12,12 @@ from typing import Iterable, Iterator
 
 from repro.core.types import TruthEstimate, TruthValue
 
+__all__ = [
+    "iter_estimates",
+    "load_estimates",
+    "save_estimates",
+]
+
 
 def save_estimates(
     estimates: Iterable[TruthEstimate], path: str | Path

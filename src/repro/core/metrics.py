@@ -15,6 +15,15 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.core.types import TruthEstimate, TruthTimeline, TruthValue
 
+__all__ = [
+    "ConfusionMatrix",
+    "EvaluationResult",
+    "evaluate_estimates",
+    "evaluate_per_claim",
+    "format_results_table",
+    "hardest_claims",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class ConfusionMatrix:

@@ -18,6 +18,14 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.core.types import Attitude, Report, TruthEstimate, TruthValue
 
+__all__ = [
+    "ReliabilityEstimator",
+    "SourceReliability",
+    "evaluate_reliability_estimates",
+    "rank_spreaders",
+    "reliability_histogram",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class SourceReliability:

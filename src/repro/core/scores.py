@@ -22,6 +22,16 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.types import Report
+from repro.devtools import contracts
+
+__all__ = [
+    "ATTITUDE_ONLY",
+    "FULL_WEIGHTS",
+    "ScoreWeights",
+    "contribution_score",
+    "normalized_support",
+    "total_contribution",
+]
 
 
 def contribution_score(report: Report) -> float:
@@ -50,6 +60,7 @@ class ScoreWeights:
             value *= 1.0 - report.uncertainty
         if self.use_independence:
             value *= report.independence
+        contracts.assert_score_range(value, "contribution score (Eq. 1)")
         return value
 
 
@@ -75,4 +86,6 @@ def normalized_support(
     """
     if not reports:
         return 0.0
-    return total_contribution(reports, weights) / len(reports)
+    support = total_contribution(reports, weights) / len(reports)
+    contracts.assert_score_range(support, "normalized support")
+    return support

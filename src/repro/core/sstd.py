@@ -34,7 +34,17 @@ import numpy as np
 
 from repro.core.acs import ACSConfig, SlidingWindowACS, acs_sequence
 from repro.core.types import Report, TruthEstimate, TruthValue
+from repro.devtools import contracts
 from repro.hmm.gaussian import GaussianHMM
+
+__all__ = [
+    "ClaimDecodeResult",
+    "ClaimTruthModel",
+    "SSTD",
+    "SSTDConfig",
+    "StreamingSSTD",
+    "states_to_truth",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -182,6 +192,9 @@ class ClaimTruthModel:
         else:
             states, _ = hmm.decode(acs_values)
         posteriors = hmm.state_posteriors(acs_values)
+        contracts.assert_probability_simplex(
+            posteriors, f"state posteriors of claim {self.claim_id}"
+        )
 
         values = tuple(states_to_truth(hmm, states))
         estimates = tuple(
@@ -415,6 +428,9 @@ class StreamingSSTD:
             alpha = np.full(hmm.n_states, 1.0 / hmm.n_states)
         else:
             alpha = alpha / total
+        contracts.assert_probability_simplex(
+            alpha, f"forward filter of claim {claim_id}"
+        )
         self._alphas[claim_id] = alpha
         return alpha
 

@@ -17,6 +17,17 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Optional
 
+__all__ = [
+    "Attitude",
+    "Claim",
+    "Report",
+    "Source",
+    "TruthEstimate",
+    "TruthLabel",
+    "TruthTimeline",
+    "TruthValue",
+]
+
 
 class TruthValue(enum.IntEnum):
     """The binary truth value of a claim at a time instant.

@@ -1,0 +1,32 @@
+"""Correctness tooling for the SSTD reproduction.
+
+Two halves, mirroring the role lint + sanitizers play in a training
+stack:
+
+- :mod:`repro.devtools.lint` — a project-specific AST lint engine whose
+  SSTD rules enforce invariants the Python runtime never checks (lock
+  discipline in the Work Queue layer, seeded randomness, log-space
+  numerics confined to the sanctioned helpers, ...).  Run it with
+  ``python -m repro.devtools.lint src/repro`` or ``repro-cli lint``.
+- :mod:`repro.devtools.contracts` — cheap runtime validators for the
+  probability-simplex and score-range invariants of the paper
+  (Definitions 1-3, Eq. (5)), toggled by the ``REPRO_CONTRACTS``
+  environment variable so EM steps fail loudly at the step that
+  corrupted a distribution instead of three modules later.
+"""
+
+from repro.devtools.contracts import (
+    ContractViolation,
+    contracts_enabled,
+    set_contracts,
+)
+
+# NOTE: the `contracts` *submodule* is deliberately not shadowed here —
+# instrumented modules rely on `from repro.devtools import contracts`
+# resolving to the module; use `contracts.contracts(...)` (or import it
+# from the submodule) for the scoped on/off context manager.
+__all__ = [
+    "ContractViolation",
+    "contracts_enabled",
+    "set_contracts",
+]

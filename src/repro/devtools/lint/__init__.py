@@ -1,0 +1,33 @@
+"""Project-specific AST lint engine (the ``SSTD###`` rules).
+
+Public surface: the engine primitives (:class:`Rule`,
+:class:`Finding`, :func:`lint_source`, :func:`lint_paths`) and the CLI
+(:func:`repro.devtools.lint.cli.main`, also exposed as ``python -m
+repro.devtools.lint`` and ``repro-cli lint``).  The rules themselves
+live in :mod:`repro.devtools.lint.rules`; importing them registers
+each rule with :data:`RULE_REGISTRY`.
+"""
+
+from repro.devtools.lint.engine import (
+    RULE_REGISTRY,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

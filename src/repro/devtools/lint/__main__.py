@@ -1,0 +1,6 @@
+"""``python -m repro.devtools.lint`` dispatches to the lint CLI."""
+
+from repro.devtools.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

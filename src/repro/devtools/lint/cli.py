@@ -1,0 +1,116 @@
+"""Command-line entry point of the SSTD lint engine.
+
+Usage::
+
+    python -m repro.devtools.lint src/repro            # lint the package
+    python -m repro.devtools.lint --format json src    # machine-readable
+    python -m repro.devtools.lint --select SSTD003 src/repro/workqueue
+    python -m repro.devtools.lint --list-rules
+
+Exits non-zero when any finding survives suppression, so the command
+doubles as a CI gate.  Suppress an individual finding with a trailing
+``# noqa: SSTD###`` comment on the flagged line (justify it nearby).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.lint.engine import (
+    all_rules,
+    iter_python_files,
+    lint_file,
+)
+from repro.devtools.lint.reporters import render_json, render_text
+
+__all__ = ["build_parser", "main", "run_lint"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "SSTD-specific static analysis: lock discipline, seeded "
+            "randomness, probability-safe numerics, exception and export "
+            "hygiene. Exits 1 when findings remain, 2 on usage errors."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all), e.g. "
+        "SSTD003,SSTD004",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _default_paths() -> list[Path]:
+    preferred = Path("src/repro")
+    return [preferred if preferred.is_dir() else Path(".")]
+
+
+def run_lint(
+    paths: Sequence[Path],
+    output_format: str = "text",
+    select: str | None = None,
+) -> tuple[str, int]:
+    """Lint ``paths``; returns ``(report, exit_code)``."""
+    selected = select.split(",") if select else None
+    rules = all_rules(selected)
+    files = list(iter_python_files(paths))
+    findings = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    if output_format == "json":
+        report = render_json(findings, n_files=len(files))
+    else:
+        report = render_text(findings, n_files=len(files))
+    return report, 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    paths = args.paths or _default_paths()
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        report, code = run_lint(paths, output_format=args.format, select=args.select)
+    except KeyError as exc:
+        print(str(exc.args[0]) if exc.args else str(exc), file=sys.stderr)
+        return 2
+    print(report)
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,252 @@
+"""Core of the SSTD lint engine: contexts, rules, registry, runner.
+
+The engine is deliberately small — a file is parsed once into an
+:class:`ast` tree, each registered :class:`Rule` walks it and yields
+:class:`Finding` records, and ``# noqa: SSTD###`` comments on the
+flagged physical line suppress findings the author has justified.
+
+Adding a rule:
+
+>>> @register
+... class MyRule(Rule):
+...     rule_id = "SSTD042"
+...     summary = "what the rule enforces"
+...     def check(self, ctx):
+...         for node in ast.walk(ctx.tree):
+...             ...
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "register",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?P<codes>:\s*[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)?",
+    re.IGNORECASE,
+)
+
+_SKIP_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One lint finding, anchored to a source position."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    module: str = ""
+
+    @classmethod
+    def from_source(cls, source: str, path: str, module: str = "") -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            module=module or module_name_for(Path(path)),
+        )
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """``# noqa`` on the flagged line silences the finding.
+
+        A bare ``# noqa`` silences every rule; ``# noqa: SSTD003`` (or a
+        comma-separated list) silences only the named rules.
+        """
+        match = _NOQA_RE.search(self.line_text(finding.line))
+        if match is None:
+            return False
+        codes = match.group("codes")
+        if codes is None:
+            return True
+        listed = {c.strip().upper() for c in codes.lstrip(":").split(",")}
+        return finding.rule_id.upper() in listed
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, anchored at the ``repro`` package.
+
+    ``src/repro/hmm/base.py`` -> ``repro.hmm.base``; package
+    ``__init__.py`` files map to the package itself.  Files outside a
+    ``repro`` tree fall back to their stem so synthetic fixtures still
+    get a usable name.
+    """
+    parts = list(path.parts)
+    if path.suffix == ".py":
+        parts[-1] = path.stem
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` (``SSTD###``) and ``summary`` and
+    implement :meth:`check`, yielding findings; helpers
+    :meth:`finding` keeps positions consistent.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+#: Registry of rule classes keyed by rule id, filled by :func:`register`.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} must set rule_id")
+    if rule_cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    RULE_REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate registered rules, optionally restricted to ``select``."""
+    # Importing the rules package populates the registry on first use.
+    from repro.devtools.lint import rules as _rules  # noqa: F401
+
+    if select is None:
+        ids = sorted(RULE_REGISTRY)
+    else:
+        ids = []
+        for rule_id in select:
+            normalized = rule_id.strip().upper()
+            if normalized not in RULE_REGISTRY:
+                known = ", ".join(sorted(RULE_REGISTRY))
+                raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+            ids.append(normalized)
+    return [RULE_REGISTRY[rule_id]() for rule_id in ids]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+    module: str = "",
+) -> list[Finding]:
+    """Lint a source string; returns unsuppressed findings sorted by position."""
+    if rules is None:
+        rules = all_rules()
+    ctx = FileContext.from_source(source, path=path, module=module)
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_file(path: Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint one file.  Syntax errors surface as an SSTD000 finding."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        return lint_source(source, path=str(path), rules=rules)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="SSTD000",
+                message=f"syntax error: {exc.msg}",
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files to lint."""
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = set(sub.parts)
+                if parts & _SKIP_DIR_NAMES:
+                    continue
+                if any(part.endswith(".egg-info") for part in sub.parts):
+                    continue
+                yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[Path], rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint every python file under ``paths``."""
+    if rules is None:
+        rules = all_rules()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules=rules))
+    return findings

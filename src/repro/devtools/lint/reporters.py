@@ -1,0 +1,39 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import Sequence
+
+from repro.devtools.lint.engine import Finding
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(findings: Sequence[Finding], n_files: int) -> str:
+    """flake8-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [finding.format() for finding in findings]
+    if findings:
+        by_rule = collections.Counter(f.rule_id for f in findings)
+        breakdown = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"{len(findings)} finding(s) in {n_files} file(s) ({breakdown})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {n_files} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], n_files: int) -> str:
+    """JSON document with findings plus per-rule counts."""
+    by_rule: dict[str, int] = collections.Counter(f.rule_id for f in findings)
+    payload = {
+        "files_checked": n_files,
+        "total": len(findings),
+        "by_rule": dict(sorted(by_rule.items())),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)

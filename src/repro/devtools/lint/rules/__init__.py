@@ -1,0 +1,27 @@
+"""SSTD lint rules.
+
+Importing this package registers every rule with the engine registry:
+
+- ``SSTD001`` — no bare / silently-swallowing broad ``except``;
+- ``SSTD002`` — no mutable default arguments;
+- ``SSTD003`` — lock discipline for ``# guarded-by:`` attributes;
+- ``SSTD004`` — determinism: all randomness must be seeded;
+- ``SSTD005`` — log/exp numerics confined to ``repro.hmm.utils``;
+- ``SSTD006`` — public modules must declare ``__all__``.
+"""
+
+from repro.devtools.lint.rules.defaults import MutableDefaultRule
+from repro.devtools.lint.rules.determinism import UnseededRandomRule
+from repro.devtools.lint.rules.exceptions import BroadExceptRule
+from repro.devtools.lint.rules.exports import MissingAllRule
+from repro.devtools.lint.rules.locks import LockDisciplineRule
+from repro.devtools.lint.rules.numerics import RawLogExpRule
+
+__all__ = [
+    "BroadExceptRule",
+    "LockDisciplineRule",
+    "MissingAllRule",
+    "MutableDefaultRule",
+    "RawLogExpRule",
+    "UnseededRandomRule",
+]

@@ -1,0 +1,72 @@
+"""SSTD001: no bare or silently-swallowing broad ``except``.
+
+A distributed run hides errors well enough already — a worker that
+swallows an exception turns a crashed Truth Discovery job into a
+silently missing estimate.  Bare ``except:`` is always flagged (it also
+catches ``KeyboardInterrupt`` / ``SystemExit``).  ``except Exception``
+/ ``except BaseException`` is flagged only when the handler *swallows*:
+it neither re-raises nor binds the exception for inspection (``as
+exc``) — the pattern in :mod:`repro.workqueue.local`, which records
+task errors as data, stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(handler_type: ast.expr | None) -> list[str]:
+    """Over-broad exception class names mentioned by the handler."""
+    if handler_type is None:
+        return []
+    exprs = (
+        list(handler_type.elts)
+        if isinstance(handler_type, ast.Tuple)
+        else [handler_type]
+    )
+    names = []
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD:
+            names.append(expr.id)
+    return names
+
+
+def _contains_raise(body: list[ast.stmt]) -> bool:
+    return any(isinstance(node, ast.Raise) for stmt in body for node in ast.walk(stmt))
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "SSTD001"
+    summary = "no bare except; broad except must re-raise or bind the error"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' swallows every error including "
+                    "KeyboardInterrupt; catch a specific exception",
+                )
+                continue
+            broad = _broad_names(node.type)
+            if not broad:
+                continue
+            if node.name is None and not _contains_raise(node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'except {broad[0]}' swallows errors silently; "
+                    "re-raise, bind it ('as exc') and record it, or "
+                    "catch a specific exception",
+                )

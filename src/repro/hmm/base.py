@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devtools import contracts
 from repro.hmm.utils import (
     PROB_FLOOR,
     log_mask_zero,
@@ -30,6 +31,8 @@ from repro.hmm.utils import (
     validate_distribution,
     validate_stochastic_matrix,
 )
+
+__all__ = ["BaseHMM", "FitResult"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +103,18 @@ class BaseHMM(abc.ABC):
             raise ValueError("observation sequence is empty")
         return observations
 
+    def _check_chain_contracts(self, where: str) -> None:
+        """Runtime contracts on the Markov-chain parameters.
+
+        Called at the E-step entry and after the final M-step of
+        Baum-Welch so a corrupted ``startprob`` / ``transmat`` fails at
+        the update that broke it (no-op unless contracts are enabled).
+        """
+        contracts.assert_probability_simplex(
+            self.startprob, f"startprob ({where})"
+        )
+        contracts.assert_stochastic_matrix(self.transmat, f"transmat ({where})")
+
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
@@ -132,7 +147,7 @@ class BaseHMM(abc.ABC):
                 scales[t] = PROB_FLOOR
             else:
                 alpha[t] /= scales[t]
-        return alpha, scales, float(np.log(scales).sum())
+        return alpha, scales, float(log_mask_zero(scales).sum())
 
     def _backward(self, emissions: np.ndarray, scales: np.ndarray) -> np.ndarray:
         """Scaled backward pass matching :meth:`_forward`'s scaling."""
@@ -234,6 +249,7 @@ class BaseHMM(abc.ABC):
         history: list[float] = []
         converged = False
         for _ in range(max_iter):
+            self._check_chain_contracts("Baum-Welch E-step")
             emissions = self._emission_probabilities(observations)
             alpha, scales, logprob = self._forward(emissions)
             beta = self._backward(emissions, scales)
@@ -260,6 +276,7 @@ class BaseHMM(abc.ABC):
             if len(history) > 1 and abs(history[-1] - history[-2]) < tol:
                 converged = True
                 break
+        self._check_chain_contracts("Baum-Welch M-step")
         return FitResult(
             log_likelihoods=tuple(history),
             converged=converged,
@@ -292,6 +309,7 @@ class BaseHMM(abc.ABC):
         history: list[float] = []
         converged = False
         for _ in range(max_iter):
+            self._check_chain_contracts("Baum-Welch E-step")
             start_acc = np.zeros(self.n_states)
             xi_acc = np.zeros((self.n_states, self.n_states))
             gammas: list[np.ndarray] = []
@@ -324,6 +342,7 @@ class BaseHMM(abc.ABC):
             if len(history) > 1 and abs(history[-1] - history[-2]) < tol:
                 converged = True
                 break
+        self._check_chain_contracts("Baum-Welch M-step")
         return FitResult(
             log_likelihoods=tuple(history),
             converged=converged,

@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.devtools import contracts
 from repro.hmm.base import BaseHMM
 from repro.hmm.utils import PROB_FLOOR, normalize_rows
+
+__all__ = ["DiscreteHMM"]
 
 
 class DiscreteHMM(BaseHMM):
@@ -63,6 +66,9 @@ class DiscreteHMM(BaseHMM):
             if mask.any():
                 counts[:, symbol] = gamma[mask].sum(axis=0)
         self.emissionprob = normalize_rows(counts + PROB_FLOOR)
+        contracts.assert_stochastic_matrix(
+            self.emissionprob, "DiscreteHMM emissionprob"
+        )
 
     def _init_emissions(
         self, observations: np.ndarray, rng: np.random.Generator

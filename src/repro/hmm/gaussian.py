@@ -15,16 +15,16 @@ social sensing data where most windows of a long-tail claim are empty.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
+from repro.devtools import contracts
 from repro.hmm.base import BaseHMM
+from repro.hmm.utils import normal_densities
+
+__all__ = ["GaussianHMM", "MIN_VARIANCE"]
 
 #: Variance floor preventing EM from collapsing a state onto one point.
 MIN_VARIANCE = 1e-3
-
-_LOG_2PI = math.log(2.0 * math.pi)
 
 
 class GaussianHMM(BaseHMM):
@@ -71,11 +71,7 @@ class GaussianHMM(BaseHMM):
         # observations) get likelihood 1 for every state.
         missing = np.isnan(observations)
         filled = np.where(missing, 0.0, observations)
-        diff = filled[:, None] - self.means[None, :]
-        log_density = -0.5 * (
-            _LOG_2PI + np.log(self.variances)[None, :] + diff**2 / self.variances
-        )
-        densities = np.exp(log_density)
+        densities = normal_densities(filled, self.means, self.variances)
         densities[missing] = 1.0
         return densities
 
@@ -99,6 +95,8 @@ class GaussianHMM(BaseHMM):
         variances[keep] = self.variances[keep]
         self.means = means
         self.variances = np.maximum(variances, MIN_VARIANCE)
+        contracts.assert_finite(self.means, "GaussianHMM means")
+        contracts.assert_finite(self.variances, "GaussianHMM variances")
 
     def _init_emissions(
         self, observations: np.ndarray, rng: np.random.Generator

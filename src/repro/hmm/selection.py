@@ -23,6 +23,15 @@ from repro.hmm.base import BaseHMM
 from repro.hmm.discrete import DiscreteHMM
 from repro.hmm.gaussian import GaussianHMM
 
+__all__ = [
+    "SelectionEntry",
+    "SelectionResult",
+    "aic",
+    "bic",
+    "n_parameters",
+    "select_n_states",
+]
+
 
 def n_parameters(hmm: BaseHMM) -> int:
     """Free parameters of a fitted model."""
@@ -46,7 +55,8 @@ def bic(hmm: BaseHMM, observations: np.ndarray) -> float:
     """Bayesian information criterion (lower is better)."""
     length = np.asarray(observations).shape[0]
     return (
-        n_parameters(hmm) * math.log(max(length, 1))
+        # log of a sample count (BIC penalty), not of probability mass.
+        n_parameters(hmm) * math.log(max(length, 1))  # noqa: SSTD005
         - 2.0 * hmm.log_likelihood(observations)
     )
 

@@ -1,11 +1,34 @@
-"""Numeric helpers shared by the HMM implementations."""
+"""Numeric helpers shared by the HMM implementations.
+
+This module is the *sanctioned* home for raw log/exp math on
+probability arrays — lint rule SSTD005 forbids it everywhere else in
+``repro.hmm`` / ``repro.core`` so that zero-handling, masking and
+scaling decisions live in one audited place.
+"""
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
+
+__all__ = [
+    "LOG_2PI",
+    "PROB_FLOOR",
+    "log_mask_zero",
+    "normal_densities",
+    "normal_log_densities",
+    "normalize_rows",
+    "normalize_vector",
+    "validate_distribution",
+    "validate_stochastic_matrix",
+]
 
 #: Floor used to keep probabilities strictly positive during EM.
 PROB_FLOOR = 1e-12
+
+#: log(2 pi), the normalization constant of the Gaussian log-density.
+LOG_2PI = math.log(2.0 * math.pi)
 
 
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
@@ -55,7 +78,43 @@ def validate_distribution(vector: np.ndarray, name: str) -> np.ndarray:
 
 
 def log_mask_zero(values: np.ndarray) -> np.ndarray:
-    """Elementwise log with ``log(0) = -inf`` and no warnings."""
+    """Elementwise log with ``log(0) = -inf`` and no warnings.
+
+    Negative inputs are a bug in the caller (probabilities cannot go
+    below zero) and raise ``ValueError`` instead of silently producing
+    NaN.
+    """
     values = np.asarray(values, dtype=float)
+    if (values < 0).any():
+        raise ValueError(
+            f"log_mask_zero expects non-negative input, got min {values.min()!r}"
+        )
     with np.errstate(divide="ignore"):
         return np.log(values)
+
+
+def normal_log_densities(
+    values: np.ndarray, means: np.ndarray, variances: np.ndarray
+) -> np.ndarray:
+    """Gaussian log-density matrix ``L[t, i] = log N(values[t]; means[i], variances[i])``.
+
+    Variances must be strictly positive — EM callers enforce a variance
+    floor, and a zero/denormal variance here would silently overflow the
+    density, so it raises instead.
+    """
+    values = np.asarray(values, dtype=float)
+    means = np.asarray(means, dtype=float)
+    variances = np.asarray(variances, dtype=float)
+    if (variances <= 0).any() or not np.isfinite(variances).all():
+        raise ValueError(
+            f"variances must be strictly positive and finite, got {variances!r}"
+        )
+    diff = values[:, None] - means[None, :]
+    return -0.5 * (LOG_2PI + np.log(variances)[None, :] + diff**2 / variances)
+
+
+def normal_densities(
+    values: np.ndarray, means: np.ndarray, variances: np.ndarray
+) -> np.ndarray:
+    """Gaussian density matrix, ``exp`` of :func:`normal_log_densities`."""
+    return np.exp(normal_log_densities(values, means, variances))

@@ -13,6 +13,16 @@ from typing import Mapping, Sequence
 
 from repro.core.types import TruthEstimate, TruthTimeline, TruthValue
 
+__all__ = [
+    "bar_chart",
+    "estimate_strip",
+    "hit_rate_table",
+    "side_by_side",
+    "sparkline",
+    "timeline_strip",
+    "truth_strip",
+]
+
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 

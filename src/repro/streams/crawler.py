@@ -18,6 +18,11 @@ from repro.streams.replay import StreamReplayer
 from repro.streams.trace import Trace
 from repro.text.pipeline import RawTweet
 
+__all__ = [
+    "CrawlBatch",
+    "SimulatedCrawler",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class CrawlBatch:

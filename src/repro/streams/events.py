@@ -22,6 +22,20 @@ from dataclasses import dataclass, field
 
 from repro.streams.sources import PopulationConfig
 
+__all__ = [
+    "AGREE_HEDGED_TEMPLATES",
+    "AGREE_TEMPLATES",
+    "DISAGREE_HEDGED_TEMPLATES",
+    "DISAGREE_TEMPLATES",
+    "RETWEET_PREFIX",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "boston_bombing",
+    "college_football",
+    "osu_attack",
+    "paris_shooting",
+]
+
 # ---------------------------------------------------------------------------
 # Tweet text templates.  {claim} is replaced by the claim text.  The
 # attitude/uncertainty classifiers in repro.text key off the cue words.

@@ -48,6 +48,12 @@ from repro.streams.sources import SourcePopulation
 from repro.streams.trace import Trace
 from repro.streams.traffic import TrafficModel, bursts_at_transitions
 
+__all__ = [
+    "GeneratorConfig",
+    "generate_trace",
+    "generate_truth_timeline",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class GeneratorConfig:

@@ -16,6 +16,11 @@ from typing import Iterator
 from repro.core.types import Report
 from repro.streams.trace import Trace
 
+__all__ = [
+    "StreamBatch",
+    "StreamReplayer",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class StreamBatch:

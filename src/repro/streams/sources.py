@@ -29,6 +29,11 @@ import numpy as np
 
 from repro.core.types import Source
 
+__all__ = [
+    "PopulationConfig",
+    "SourcePopulation",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class PopulationConfig:

@@ -24,6 +24,12 @@ from repro.core.types import (
     TruthValue,
 )
 
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "merge_traces",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class TraceStats:

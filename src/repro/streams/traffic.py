@@ -23,6 +23,12 @@ from typing import Sequence
 
 import numpy as np
 
+__all__ = [
+    "Burst",
+    "TrafficModel",
+    "bursts_at_transitions",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class Burst:

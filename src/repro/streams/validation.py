@@ -12,6 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from repro.streams.trace import Trace
 
+__all__ = [
+    "ValidationIssue",
+    "ValidationReport",
+    "assert_valid",
+    "validate_trace",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class ValidationIssue:

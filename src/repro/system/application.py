@@ -32,6 +32,12 @@ from repro.core.types import Report, TruthEstimate, TruthValue
 from repro.system.deadline import DeadlineTracker
 from repro.text.pipeline import RawTweet, TweetPipeline
 
+__all__ = [
+    "ApplicationConfig",
+    "FlipEvent",
+    "SocialSensingApplication",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class ApplicationConfig:

@@ -11,6 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+__all__ = [
+    "DeadlineTracker",
+    "IntervalRecord",
+    "hit_rate_curve",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class IntervalRecord:

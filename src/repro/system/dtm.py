@@ -25,6 +25,11 @@ from repro.system.jobs import TDJob
 from repro.workqueue.master import WorkQueueMaster
 from repro.workqueue.pool import ElasticWorkerPool
 
+__all__ = [
+    "DTMConfig",
+    "DynamicTaskManager",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class DTMConfig:

@@ -15,6 +15,10 @@ from typing import Any, Callable, Sequence
 from repro.core.types import Report
 from repro.workqueue.task import Task
 
+__all__ = [
+    "TDJob",
+]
+
 
 @dataclass
 class TDJob:

@@ -16,6 +16,12 @@ from typing import Sequence
 from repro.cluster.simulation import PeriodicTask, Simulator
 from repro.workqueue.master import WorkQueueMaster
 
+__all__ = [
+    "MonitorSample",
+    "MonitorSummary",
+    "SystemMonitor",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class MonitorSample:

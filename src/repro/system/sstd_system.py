@@ -38,6 +38,13 @@ from repro.workqueue.master import WorkQueueMaster
 from repro.workqueue.pool import ElasticWorkerPool
 from repro.workqueue.task import CostModel
 
+__all__ = [
+    "BatchRunResult",
+    "DistributedSSTD",
+    "IntervalRunResult",
+    "SSTDSystemConfig",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class SSTDSystemConfig:

@@ -13,6 +13,14 @@ from __future__ import annotations
 from repro.core.types import Attitude
 from repro.text.tokenize import tokenize
 
+__all__ = [
+    "ASSERT_CUES",
+    "AttitudeClassifier",
+    "DENIAL_CUES",
+    "DENIAL_PHRASES",
+    "SPORTS_ASSERT_PHRASES",
+]
+
 #: Cues that a tweet denies / debunks the claim it mentions.
 DENIAL_CUES = frozenset(
     """false fake rumor rumour debunked hoax untrue deny denies denied

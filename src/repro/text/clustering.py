@@ -17,6 +17,11 @@ from typing import Iterable, Optional
 from repro.text.jaccard import jaccard_distance
 from repro.text.tokenize import token_set
 
+__all__ = [
+    "Cluster",
+    "OnlineClaimClusterer",
+]
+
 
 @dataclass
 class Cluster:

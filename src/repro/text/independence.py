@@ -19,6 +19,12 @@ from dataclasses import dataclass
 from repro.text.jaccard import jaccard_similarity
 from repro.text.tokenize import token_set
 
+__all__ = [
+    "IndependenceConfig",
+    "IndependenceScorer",
+    "is_retweet",
+]
+
 _RT_RE = re.compile(r"^\s*rt\s+@\w+", re.IGNORECASE)
 
 

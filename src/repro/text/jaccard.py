@@ -10,6 +10,13 @@ from typing import Iterable
 
 from repro.text.tokenize import token_set
 
+__all__ = [
+    "jaccard_distance",
+    "jaccard_similarity",
+    "pairwise_max_distance",
+    "text_distance",
+]
+
 
 def jaccard_similarity(a: frozenset[str], b: frozenset[str]) -> float:
     """|a intersect b| / |a union b|; two empty sets count as identical."""

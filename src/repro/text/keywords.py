@@ -12,6 +12,13 @@ from typing import Iterable
 
 from repro.text.tokenize import tokenize
 
+__all__ = [
+    "BOSTON_KEYWORDS",
+    "FOOTBALL_KEYWORDS",
+    "KeywordFilter",
+    "PARIS_KEYWORDS",
+]
+
 
 @dataclass(frozen=True)
 class KeywordFilter:

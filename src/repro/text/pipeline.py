@@ -27,6 +27,11 @@ from repro.text.independence import IndependenceScorer
 from repro.text.keywords import KeywordFilter
 from repro.text.uncertainty import NaiveBayesHedgeClassifier
 
+__all__ = [
+    "RawTweet",
+    "TweetPipeline",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class RawTweet:

@@ -22,6 +22,14 @@ from dataclasses import dataclass
 from repro.core.types import Attitude
 from repro.text.tokenize import tokenize
 
+__all__ = [
+    "DEFAULT_LEXICON",
+    "INTENSIFIERS",
+    "NEGATORS",
+    "PolarityAnalyzer",
+    "PolarityResult",
+]
+
 #: Valence lexicon tuned for situational-awareness tweets: positive
 #: values indicate endorsement/confirmation of a claim, negative values
 #: denial/debunking.  This intentionally differs from generic sentiment

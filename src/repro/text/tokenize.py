@@ -11,6 +11,14 @@ from __future__ import annotations
 import re
 from typing import Iterable
 
+__all__ = [
+    "STOPWORDS",
+    "content_tokens",
+    "ngrams",
+    "token_set",
+    "tokenize",
+]
+
 _URL_RE = re.compile(r"https?://\S+|www\.\S+")
 _TOKEN_RE = re.compile(r"[#@]?[a-z0-9']+")
 

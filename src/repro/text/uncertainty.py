@@ -23,6 +23,11 @@ from typing import Iterable, Sequence
 
 from repro.text.tokenize import tokenize
 
+__all__ = [
+    "HEDGE_CORPUS",
+    "NaiveBayesHedgeClassifier",
+]
+
 #: Built-in training corpus: (text, is_hedged).  Kept deliberately
 #: domain-generic; scenario benchmarks never train on their own traces.
 HEDGE_CORPUS: tuple[tuple[str, bool], ...] = (

@@ -21,6 +21,11 @@ import numpy as np
 
 from repro.workqueue.task import Task
 
+__all__ = [
+    "LocalResult",
+    "LocalWorkQueue",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class LocalResult:
@@ -56,14 +61,14 @@ class LocalWorkQueue:
             raise ValueError("n_workers must be >= 1")
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
-        self._rng = rng
         self._lock = threading.Lock()
-        self._pending: list[Task] = []
-        self._results: "queue.Queue[LocalResult]" = queue.Queue()
-        self._outstanding = 0
-        self.priorities: dict[str, float] = {}
-        self._shutdown = False
-        self._wakeup = threading.Condition(self._lock)
+        self._rng = rng  # guarded-by: _lock
+        self._pending: list[Task] = []  # guarded-by: _lock
+        self._results: "queue.Queue[LocalResult]" = queue.Queue()  # thread-safe
+        self._outstanding = 0  # guarded-by: _lock
+        self.priorities: dict[str, float] = {}  # guarded-by: _lock
+        self._shutdown = False  # guarded-by: _lock
+        self._wakeup = threading.Condition(self._lock)  # lock-alias: _lock
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"local-worker-{k}", daemon=True
@@ -89,7 +94,7 @@ class LocalWorkQueue:
             self._outstanding += 1
             self._wakeup.notify()
 
-    def _pick_task(self) -> Optional[Task]:
+    def _pick_task(self) -> Optional[Task]:  # holds-lock: _lock
         """Priority-weighted pop; caller holds the lock."""
         if not self._pending:
             return None
@@ -136,12 +141,13 @@ class LocalWorkQueue:
         collected: list[LocalResult] = []
         while True:
             with self._lock:
-                if self._outstanding == 0:
-                    break
+                outstanding = self._outstanding
+            if outstanding == 0:
+                break
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError(
-                    f"{self._outstanding} tasks still outstanding"
+                    f"{outstanding} tasks still outstanding"
                 )
             try:
                 result = self._results.get(timeout=min(remaining, 0.5))

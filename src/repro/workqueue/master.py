@@ -22,6 +22,11 @@ from repro.cluster.simulation import Simulator
 from repro.workqueue.task import Task, TaskResult
 from repro.workqueue.worker import SimulatedWorker
 
+__all__ = [
+    "JobAccounting",
+    "WorkQueueMaster",
+]
+
 
 @dataclass
 class JobAccounting:

@@ -16,6 +16,10 @@ from repro.workqueue.task import CostModel
 from repro.cluster.resources import WORKER_FOOTPRINT, ResourceSpec
 from repro.workqueue.worker import SimulatedWorker
 
+__all__ = [
+    "ElasticWorkerPool",
+]
+
 
 class ElasticWorkerPool:
     """Scales the worker count against an HTCondor pool."""

@@ -16,6 +16,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+__all__ = [
+    "CostModel",
+    "Task",
+    "TaskResult",
+]
+
 _task_counter = itertools.count(1)
 
 

@@ -19,6 +19,10 @@ from repro.cluster.condor import Placement
 from repro.cluster.simulation import EventHandle, Simulator
 from repro.workqueue.task import CostModel, Task, TaskResult
 
+__all__ = [
+    "SimulatedWorker",
+]
+
 _worker_counter = itertools.count(1)
 
 

@@ -1,0 +1,157 @@
+"""Runtime contracts: validators, toggling, and in-EM failure points."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.scores import ScoreWeights
+from repro.core.types import Attitude, Report
+from repro.devtools import contracts as ct
+from repro.hmm.discrete import DiscreteHMM
+from repro.hmm.gaussian import GaussianHMM
+
+
+@pytest.fixture(autouse=True)
+def contracts_on():
+    previous = ct.set_contracts(True)
+    yield
+    ct.set_contracts(previous)
+
+
+class TestSwitch:
+    def test_disabled_validators_are_noops(self):
+        ct.set_contracts(False)
+        ct.assert_stochastic_matrix(np.array([[2.0, 3.0]]), "m")
+        ct.assert_probability_simplex(np.array([0.2, 0.2]), "v")
+        ct.assert_score_range(17.0, "s")
+        ct.assert_finite(np.array([np.nan]), "f")
+
+    def test_context_manager_restores(self):
+        ct.set_contracts(False)
+        with ct.contracts(True):
+            assert ct.contracts_enabled()
+            with pytest.raises(ct.ContractViolation):
+                ct.assert_score_range(2.0, "s")
+        assert not ct.contracts_enabled()
+
+    def test_env_var_enables_in_fresh_process(self):
+        code = (
+            "from repro.devtools import contracts as ct; "
+            "print(ct.contracts_enabled())"
+        )
+        for env_value, expected in (("1", "True"), ("", "False")):
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={
+                    "PYTHONPATH": "src",
+                    ct.CONTRACTS_ENV_VAR: env_value,
+                    "PATH": "/usr/bin:/bin",
+                },
+                check=True,
+            )
+            assert result.stdout.strip() == expected
+
+
+class TestValidators:
+    def test_stochastic_matrix_accepts_valid(self):
+        ct.assert_stochastic_matrix(np.array([[0.3, 0.7], [0.5, 0.5]]), "m")
+
+    def test_stochastic_matrix_rejects_bad_row_sum(self):
+        with pytest.raises(ct.ContractViolation, match="sum to 1"):
+            ct.assert_stochastic_matrix(np.array([[0.9, 0.6], [0.5, 0.5]]), "m")
+
+    def test_stochastic_matrix_rejects_negative(self):
+        with pytest.raises(ct.ContractViolation, match="negative"):
+            ct.assert_stochastic_matrix(np.array([[-0.2, 1.2], [0.5, 0.5]]), "m")
+
+    def test_stochastic_matrix_accepts_rectangular(self):
+        ct.assert_stochastic_matrix(np.full((2, 5), 0.2), "emissionprob")
+
+    def test_stochastic_matrix_rejects_1d(self):
+        with pytest.raises(ct.ContractViolation, match="2-D"):
+            ct.assert_stochastic_matrix(np.array([1.0]), "m")
+
+    def test_simplex_accepts_posterior_matrix(self):
+        ct.assert_probability_simplex(np.full((10, 4), 0.25), "gamma")
+
+    def test_simplex_rejects_nan(self):
+        with pytest.raises(ct.ContractViolation, match="non-finite"):
+            ct.assert_probability_simplex(np.array([np.nan, 1.0]), "v")
+
+    def test_score_range_bounds(self):
+        ct.assert_score_range(1.0, "s")
+        ct.assert_score_range(-1.0, "s")
+        with pytest.raises(ct.ContractViolation, match="lie in"):
+            ct.assert_score_range(1.5, "s")
+
+    def test_finite(self):
+        ct.assert_finite(np.zeros(3), "f")
+        with pytest.raises(ct.ContractViolation, match="non-finite"):
+            ct.assert_finite(np.array([1.0, np.inf]), "f")
+
+    def test_violation_is_assertion_error(self):
+        assert issubclass(ct.ContractViolation, AssertionError)
+
+
+class TestBaumWelchBoundary:
+    """Acceptance criterion: corruption fails inside the EM update."""
+
+    def _observations(self):
+        rng = np.random.default_rng(0)
+        return np.concatenate([rng.normal(-1, 0.3, 40), rng.normal(1, 0.3, 40)])
+
+    def test_corrupted_transmat_raises_inside_fit(self):
+        hmm = GaussianHMM(n_states=2)
+        observations = self._observations()
+        hmm.fit(observations, max_iter=5, rng=1)
+        hmm.transmat = np.array([[0.9, 0.6], [0.1, 0.9]])  # row sums 1.5 / 1.0
+        with pytest.raises(ct.ContractViolation, match="transmat"):
+            hmm.fit(observations, max_iter=5, rng=1, init=False)
+
+    def test_corrupted_transmat_raises_inside_fit_sequences(self):
+        hmm = GaussianHMM(n_states=2)
+        observations = self._observations()
+        hmm.transmat = np.array([[np.nan, 1.0], [0.5, 0.5]])
+        with pytest.raises(ct.ContractViolation, match="transmat"):
+            hmm.fit_sequences([observations], max_iter=3, rng=1)
+
+    def test_corrupted_startprob_raises(self):
+        hmm = DiscreteHMM(n_states=2, n_symbols=3)
+        hmm.startprob = np.array([0.9, 0.9])
+        with pytest.raises(ct.ContractViolation, match="startprob"):
+            hmm.fit(np.array([0, 1, 2, 1, 0, 2]), max_iter=3, rng=0)
+
+    def test_clean_fit_passes_with_contracts_enabled(self):
+        hmm = GaussianHMM(n_states=2)
+        result = hmm.fit(self._observations(), max_iter=10, rng=1)
+        assert result.iterations >= 1
+        ct.assert_stochastic_matrix(hmm.transmat, "transmat")
+
+
+class TestScoreBoundary:
+    def _report(self, **overrides):
+        fields = dict(
+            source_id="s",
+            claim_id="c",
+            timestamp=0.0,
+            attitude=Attitude.AGREE,
+            uncertainty=0.0,
+            independence=1.0,
+        )
+        fields.update(overrides)
+        return Report(**fields)
+
+    def test_valid_report_scores_fine(self):
+        assert ScoreWeights().score(self._report()) == 1.0
+
+    def test_out_of_range_component_raises(self):
+        # Bypass Report's own validation via object.__setattr__ to model
+        # an upstream component going bad after construction.
+        report = self._report()
+        object.__setattr__(report, "independence", 3.0)
+        with pytest.raises(ct.ContractViolation, match="contribution score"):
+            ScoreWeights().score(report)

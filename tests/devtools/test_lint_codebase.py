@@ -1,0 +1,35 @@
+"""Tier-1 gate: the whole ``src/repro`` tree stays lint-clean.
+
+This test makes the SSTD lint rules permanent: any PR that introduces a
+violation (or deletes the annotations that make the lock-discipline
+pass meaningful) fails the suite, exactly like CI's dedicated lint job.
+"""
+
+from pathlib import Path
+
+from repro.devtools.lint import all_rules, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+def test_package_tree_exists():
+    assert PACKAGE.is_dir(), f"expected package at {PACKAGE}"
+
+
+def test_full_lint_pass_is_clean():
+    findings = lint_paths([PACKAGE])
+    formatted = "\n".join(f.format() for f in findings)
+    assert findings == [], f"lint findings in src/repro:\n{formatted}"
+
+
+def test_every_registered_rule_ran():
+    # A clean run must not be clean because rules failed to register.
+    assert {r.rule_id for r in all_rules()} >= {
+        "SSTD001",
+        "SSTD002",
+        "SSTD003",
+        "SSTD004",
+        "SSTD005",
+        "SSTD006",
+    }

@@ -1,0 +1,127 @@
+"""Engine mechanics: suppression, module naming, reporters, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import RULE_REGISTRY, all_rules, lint_source
+from repro.devtools.lint.cli import main as lint_main
+from repro.devtools.lint.engine import module_name_for
+from repro.devtools.lint.reporters import render_json, render_text
+
+BARE_EXCEPT = """\
+__all__ = []
+
+def f():
+    try:
+        pass
+    except:
+        pass
+"""
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        expected = {f"SSTD00{i}" for i in range(1, 7)}
+        assert expected <= set(RULE_REGISTRY)
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            all_rules(["SSTD999"])
+
+    def test_select_restricts(self):
+        rules = all_rules(["SSTD001"])
+        assert [r.rule_id for r in rules] == ["SSTD001"]
+
+
+class TestSuppression:
+    def test_finding_reported_without_noqa(self):
+        findings = lint_source(BARE_EXCEPT, path="x.py")
+        assert [f.rule_id for f in findings] == ["SSTD001"]
+
+    def test_coded_noqa_suppresses(self):
+        src = BARE_EXCEPT.replace("except:", "except:  # noqa: SSTD001")
+        assert lint_source(src, path="x.py") == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        src = BARE_EXCEPT.replace("except:", "except:  # noqa")
+        assert lint_source(src, path="x.py") == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        src = BARE_EXCEPT.replace("except:", "except:  # noqa: SSTD002")
+        assert [f.rule_id for f in lint_source(src, path="x.py")] == ["SSTD001"]
+
+
+class TestModuleNames:
+    def test_anchored_at_repro(self):
+        assert (
+            module_name_for(Path("src/repro/hmm/base.py")) == "repro.hmm.base"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_for(Path("src/repro/hmm/__init__.py")) == "repro.hmm"
+
+    def test_outside_repro_uses_stem(self):
+        assert module_name_for(Path("/tmp/whatever/thing.py")) == "thing"
+
+
+class TestReporters:
+    def test_text_clean(self):
+        assert "clean" in render_text([], n_files=3)
+
+    def test_text_counts_by_rule(self):
+        findings = lint_source(BARE_EXCEPT, path="x.py")
+        report = render_text(findings, n_files=1)
+        assert "x.py:6:5: SSTD001" in report
+        assert "SSTD001=1" in report
+
+    def test_json_payload(self):
+        findings = lint_source(BARE_EXCEPT, path="x.py")
+        payload = json.loads(render_json(findings, n_files=1))
+        assert payload["total"] == 1
+        assert payload["by_rule"] == {"SSTD001": 1}
+        assert payload["findings"][0]["rule"] == "SSTD001"
+        assert payload["findings"][0]["line"] == 6
+
+
+class TestCli:
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('__all__ = ["x"]\n\nx = 1\n')
+        assert lint_main([str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(BARE_EXCEPT)
+        assert lint_main([str(dirty)]) == 1
+        assert "SSTD001" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(BARE_EXCEPT)
+        assert lint_main(["--format", "json", str(dirty)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 1
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert lint_main(["/no/such/path.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_bad_select_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "x.py"
+        target.write_text("__all__ = []\n")
+        assert lint_main(["--select", "SSTD999", str(target)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 7):
+            assert f"SSTD00{i}" in out
+
+    def test_syntax_error_becomes_finding(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert lint_main([str(bad)]) == 1
+        assert "SSTD000" in capsys.readouterr().out
