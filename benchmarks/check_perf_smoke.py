@@ -1,0 +1,105 @@
+"""CI perf-smoke gate: fail on large process-backend throughput regressions.
+
+Compares a fresh ``BENCH_parallel.json`` (written by
+``benchmarks/bench_parallel_backend.py``) against the committed baseline
+and exits non-zero when the process backend's batch-TD throughput has
+regressed by more than the allowed factor at any measured worker count.
+
+Usage::
+
+    python benchmarks/check_perf_smoke.py [CURRENT_JSON] [BASELINE_JSON]
+
+Defaults: ``BENCH_parallel.json`` at the repo root and
+``benchmarks/baselines/perf_smoke_baseline.json``.
+
+The tolerance is deliberately loose — ``REPRO_PERF_REGRESSION_FACTOR``
+(default ``2.0``) — because CI runners vary in speed; the gate exists to
+catch algorithmic regressions (an accidental re-serialization of the hot
+path), not 10% noise.  Exit codes: 0 pass, 1 regression, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_parallel.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "perf_smoke_baseline.json"
+GATED_BACKEND = "processes"
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"perf-smoke: missing {path}", file=sys.stderr)
+        raise SystemExit(2) from None
+    except json.JSONDecodeError as exc:
+        print(f"perf-smoke: unparsable {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    current_path = Path(argv[0]) if len(argv) > 0 else DEFAULT_CURRENT
+    baseline_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_BASELINE
+    factor = float(os.environ.get("REPRO_PERF_REGRESSION_FACTOR", "2.0"))
+    if factor < 1.0:
+        print("perf-smoke: regression factor must be >= 1.0", file=sys.stderr)
+        return 2
+
+    current = _load(current_path)
+    baseline = _load(baseline_path)
+
+    if current.get("scale") != baseline.get("scale"):
+        print(
+            f"perf-smoke: scale mismatch — current {current.get('scale')} vs "
+            f"baseline {baseline.get('scale')}; run the benchmark with "
+            "REPRO_BENCH_SCALE matching the committed baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    current_stats = current.get("backends", {}).get(GATED_BACKEND, {})
+    baseline_stats = baseline.get("backends", {}).get(GATED_BACKEND, {})
+    if not current_stats or not baseline_stats:
+        print(f"perf-smoke: no {GATED_BACKEND!r} stats to compare", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(
+        f"perf-smoke: {GATED_BACKEND} throughput vs baseline "
+        f"(allowed regression {factor:.1f}x)"
+    )
+    for workers in sorted(baseline_stats, key=int):
+        base = baseline_stats[workers].get("throughput_rps")
+        now = current_stats.get(workers, {}).get("throughput_rps")
+        if base is None or now is None:
+            print(f"  {workers}w: missing throughput_rps", file=sys.stderr)
+            failures.append(workers)
+            continue
+        floor = base / factor
+        verdict = "ok" if now >= floor else "REGRESSED"
+        print(
+            f"  {workers}w: {now:>10.1f} rps  (baseline {base:.1f}, "
+            f"floor {floor:.1f})  {verdict}"
+        )
+        if now < floor:
+            failures.append(workers)
+    if failures:
+        print(
+            f"perf-smoke: throughput regressed >{factor:.1f}x at worker "
+            f"count(s) {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

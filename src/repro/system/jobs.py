@@ -12,12 +12,50 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.core.types import Report
-from repro.workqueue.task import Task
+from repro.core.acs import acs_sequence
+from repro.core.sstd import ClaimTruthModel, SSTDConfig
+from repro.core.types import Report, TruthEstimate
+from repro.workqueue.task import PayloadSpec, Task
 
 __all__ = [
     "TDJob",
+    "decode_claim_payload",
+    "decode_task_spec",
 ]
+
+
+def decode_claim_payload(
+    claim_id: str,
+    reports: tuple[Report, ...],
+    config: SSTDConfig,
+    start: float | None = None,
+    end: float | None = None,
+) -> tuple[TruthEstimate, ...]:
+    """Run one claim's full TD pipeline: ACS sequence → fit → decode.
+
+    This is the unit of distribution (paper Section III-E) expressed as
+    a *module-level* function, so it can be shipped to a worker process
+    as a :class:`repro.workqueue.task.PayloadSpec` — closures cannot
+    cross a pickle boundary.  All executors (simulated, threads,
+    processes) run exactly this payload, which is what keeps their
+    estimates bit-identical.
+    """
+    times, values = acs_sequence(reports, config.acs, start=start, end=end)
+    model = ClaimTruthModel(claim_id, config)
+    return model.fit_decode(times, values).estimates
+
+
+def decode_task_spec(
+    claim_id: str,
+    reports: Sequence[Report],
+    config: SSTDConfig,
+    start: float | None = None,
+    end: float | None = None,
+) -> PayloadSpec:
+    """Picklable payload spec for one claim's Truth Discovery job."""
+    return PayloadSpec(
+        decode_claim_payload, (claim_id, tuple(reports), config, start, end)
+    )
 
 
 @dataclass

@@ -20,6 +20,7 @@ Two entry points:
 from __future__ import annotations
 
 import collections
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -33,17 +34,24 @@ from repro.core.types import Report, TruthEstimate
 from repro.streams.trace import Trace
 from repro.system.deadline import DeadlineTracker
 from repro.system.dtm import DTMConfig, DynamicTaskManager
-from repro.system.jobs import TDJob
+from repro.system.jobs import TDJob, decode_task_spec
+from repro.workqueue.local import LocalWorkQueue
 from repro.workqueue.master import WorkQueueMaster
 from repro.workqueue.pool import ElasticWorkerPool
-from repro.workqueue.task import CostModel
+from repro.workqueue.process import ProcessWorkQueue
+from repro.workqueue.task import CostModel, Task
 
 __all__ = [
+    "BACKENDS",
     "BatchRunResult",
     "DistributedSSTD",
     "IntervalRunResult",
     "SSTDSystemConfig",
 ]
+
+#: Execution substrates: virtual-time simulation, GIL-shared threads,
+#: or real OS processes (one Python interpreter per worker).
+BACKENDS = ("simulated", "threads", "processes")
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +76,17 @@ class SSTDSystemConfig:
         failures: Enable node failure injection (nodes need
             ``mtbf_seconds`` in their specs, or set ``default_mtbf``);
             the system re-queues lost tasks and replaces dead workers.
+        backend: Execution substrate — ``"simulated"`` (virtual-time
+            cluster, default), ``"threads"``
+            (:class:`~repro.workqueue.local.LocalWorkQueue`), or
+            ``"processes"``
+            (:class:`~repro.workqueue.process.ProcessWorkQueue`, real
+            cores).  The real backends run the per-claim
+            ``ClaimTruthModel.fit_decode`` payloads on wall time; the
+            PID control plane and failure injection only apply to the
+            simulated backend.
+        drain_timeout: Wall-clock cap (seconds) on one ``drain`` of the
+            real backends before the run aborts with ``TimeoutError``.
     """
 
     n_workers: int = 4
@@ -82,6 +101,8 @@ class SSTDSystemConfig:
     seed: int = 0
     streaming_retrain_every: int = 5
     failures: FailureConfig | None = None
+    backend: str = "simulated"
+    drain_timeout: float = 600.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -90,6 +111,12 @@ class SSTDSystemConfig:
             raise ValueError("deadline must be > 0")
         if self.tasks_per_job < 1:
             raise ValueError("tasks_per_job must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.drain_timeout <= 0:
+            raise ValueError("drain_timeout must be > 0")
 
 
 @dataclass(frozen=True, slots=True)
@@ -190,6 +217,8 @@ class DistributedSSTD:
         end: float | None = None,
     ) -> BatchRunResult:
         """Process a full trace; estimates match the serial engine exactly."""
+        if self.config.backend != "simulated":
+            return self._run_batch_real(reports, start, end)
         simulator, master, pool, dtm = self._build()
         if self.config.control_enabled:
             dtm.start()
@@ -210,17 +239,10 @@ class DistributedSSTD:
             tasks = job.make_tasks(grouped[claim_id])
             # The final task of each job carries the decode payload so the
             # truth result materializes when the job's data is processed.
-            decode_claim = claim_id
-
-            def decode(
-                cid=decode_claim, claim_reports=grouped[claim_id]
-            ):
-                result = engine.discover_claim(
-                    cid, claim_reports, start=start, end=end
-                )
-                return result.estimates
-
-            tasks[-1].fn = decode
+            # The payload is the same picklable spec the real backends use.
+            tasks[-1].fn = decode_task_spec(
+                claim_id, grouped[claim_id], self.config.sstd, start, end
+            )
             for task in tasks:
                 master.submit(task)
             n_tasks += len(tasks)
@@ -248,6 +270,155 @@ class DistributedSSTD:
         )
 
     # ------------------------------------------------------------------
+    # Real backends (threads / processes)
+    # ------------------------------------------------------------------
+    def _make_executor(self) -> LocalWorkQueue | ProcessWorkQueue:
+        """The wall-time executor selected by ``config.backend``."""
+        if self.config.backend == "threads":
+            return LocalWorkQueue(
+                n_workers=self.config.n_workers, rng=self.config.seed
+            )
+        return ProcessWorkQueue(
+            n_workers=self.config.n_workers, rng=self.config.seed
+        )
+
+    @staticmethod
+    def _check_failures(results: Sequence) -> None:
+        """Raise when any TD task failed; failures are data until here."""
+        failed = [r for r in results if not r.ok]
+        if failed:
+            first = failed[0].error
+            detail = f"\n{first.traceback}" if first.traceback else ""
+            raise RuntimeError(
+                f"{len(failed)} TD task(s) failed; first error on job "
+                f"{failed[0].job_id!r}: {first}{detail}"
+            )
+
+    def _run_batch_real(
+        self,
+        reports: Sequence[Report],
+        start: float | None,
+        end: float | None,
+    ) -> BatchRunResult:
+        """Batch mode on a real executor: one fit_decode task per claim.
+
+        ``tasks_per_job`` does not apply here — ``fit_decode`` is an
+        indivisible unit of real compute, so each claim is exactly one
+        task (the paper's recommended small-task-count regime anyway).
+        """
+        config = self.config
+        grouped = SSTD(config.sstd).group_reports(reports)
+        executor = self._make_executor()
+        clock_start = time.perf_counter()
+        try:
+            for claim_id in sorted(grouped):
+                executor.submit(
+                    Task(
+                        job_id=claim_id,
+                        data_size=float(len(grouped[claim_id])),
+                        fn=decode_task_spec(
+                            claim_id, grouped[claim_id], config.sstd, start, end
+                        ),
+                    )
+                )
+            results = executor.drain(timeout=config.drain_timeout)
+        finally:
+            executor.shutdown()
+        makespan = time.perf_counter() - clock_start
+        self._check_failures(results)
+
+        estimates: list[TruthEstimate] = []
+        for result in results:
+            if result.output:
+                estimates.extend(result.output)
+        estimates.sort(key=lambda e: (e.claim_id, e.timestamp))
+        return BatchRunResult(
+            estimates=tuple(estimates),
+            makespan=makespan,
+            n_jobs=len(grouped),
+            n_tasks=len(results),
+            total_busy_time=sum(r.wall_time for r in results),
+            worker_count=config.n_workers,
+            peak_worker_count=config.n_workers,
+        )
+
+    def _run_intervals_real(
+        self,
+        trace: Trace,
+        n_intervals: int,
+        deadline: float,
+        compute_estimates: bool,
+    ) -> IntervalRunResult:
+        """Interval replay on a real executor.
+
+        Each interval submits one fit_decode task per claim that received
+        new reports, over the claim's cumulative history (the batch-mode
+        payload), and measures the wall-clock time for the interval's
+        work to drain.  Claims without new data are not re-decoded.
+        """
+        config = self.config
+        tracker = DeadlineTracker(deadline=deadline)
+        estimates: list[TruthEstimate] = []
+
+        span = trace.end - trace.start
+        if span <= 0:
+            raise ValueError("trace must span a positive duration")
+        interval_len = span / n_intervals
+
+        history: dict[str, list[Report]] = collections.defaultdict(list)
+        emitted_until: dict[str, float] = {}
+        executor = self._make_executor()
+        try:
+            for index in range(n_intervals):
+                lo = trace.start + index * interval_len
+                hi = trace.start + (index + 1) * interval_len
+                if index == n_intervals - 1:
+                    hi = trace.end + 1e-9
+                batch = trace.reports_between(lo, hi)
+
+                by_claim: dict[str, list[Report]] = collections.defaultdict(list)
+                for report in batch:
+                    by_claim[report.claim_id].append(report)
+
+                interval_start = time.perf_counter()
+                for claim_id in sorted(by_claim):
+                    history[claim_id].extend(by_claim[claim_id])
+                    executor.submit(
+                        Task(
+                            job_id=claim_id,
+                            data_size=float(len(history[claim_id])),
+                            fn=decode_task_spec(
+                                claim_id,
+                                history[claim_id],
+                                config.sstd,
+                                trace.start,
+                                hi,
+                            ),
+                        )
+                    )
+                results = executor.drain(timeout=config.drain_timeout)
+                execution_time = time.perf_counter() - interval_start
+                self._check_failures(results)
+                if compute_estimates:
+                    for result in results:
+                        since = emitted_until.get(result.job_id, float("-inf"))
+                        estimates.extend(
+                            e
+                            for e in (result.output or ())
+                            if since < e.timestamp <= hi
+                        )
+                        emitted_until[result.job_id] = hi
+                tracker.record(index, len(batch), execution_time)
+        finally:
+            executor.shutdown()
+        estimates.sort(key=lambda e: (e.claim_id, e.timestamp))
+        return IntervalRunResult(
+            tracker=tracker,
+            estimates=tuple(estimates),
+            final_worker_count=config.n_workers,
+        )
+
+    # ------------------------------------------------------------------
     # Interval mode (Figure 6)
     # ------------------------------------------------------------------
     def run_intervals(
@@ -269,6 +440,10 @@ class DistributedSSTD:
         if n_intervals < 1:
             raise ValueError("n_intervals must be >= 1")
         deadline = deadline or self.config.deadline
+        if self.config.backend != "simulated":
+            return self._run_intervals_real(
+                trace, n_intervals, deadline, compute_estimates
+            )
         simulator, master, pool, dtm = self._build()
         if self.config.control_enabled:
             dtm.start()

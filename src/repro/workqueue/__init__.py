@@ -1,9 +1,10 @@
-"""Work Queue reproduction: master, workers, elastic pool, local executor."""
+"""Work Queue reproduction: master, workers, elastic pool, real executors."""
 
 from repro.workqueue.local import LocalResult, LocalWorkQueue
 from repro.workqueue.master import JobAccounting, WorkQueueMaster
 from repro.workqueue.pool import ElasticWorkerPool
-from repro.workqueue.task import CostModel, Task, TaskResult
+from repro.workqueue.process import ProcessWorkQueue
+from repro.workqueue.task import CostModel, PayloadSpec, Task, TaskError, TaskResult
 from repro.workqueue.worker import SimulatedWorker
 
 __all__ = [
@@ -12,8 +13,11 @@ __all__ = [
     "JobAccounting",
     "LocalResult",
     "LocalWorkQueue",
+    "PayloadSpec",
+    "ProcessWorkQueue",
     "SimulatedWorker",
     "Task",
+    "TaskError",
     "TaskResult",
     "WorkQueueMaster",
 ]

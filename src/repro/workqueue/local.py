@@ -19,7 +19,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.workqueue.task import Task
+from repro.workqueue.task import Task, TaskError
 
 __all__ = [
     "LocalResult",
@@ -29,14 +29,19 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True)
 class LocalResult:
-    """Completion record of a locally executed task."""
+    """Completion record of a locally executed task.
+
+    ``error`` is a picklable :class:`repro.workqueue.task.TaskError`
+    (never a raw exception object), so results from the thread and the
+    process backends are interchangeable.
+    """
 
     task_id: int
     job_id: str
     worker_name: str
     output: Any
     wall_time: float
-    error: Optional[BaseException] = None
+    error: Optional[TaskError] = None
 
     @property
     def ok(self) -> bool:
@@ -118,12 +123,12 @@ class LocalWorkQueue:
             if task is None:
                 continue
             start = time.perf_counter()
-            error: Optional[BaseException] = None
+            error: Optional[TaskError] = None
             output = None
             try:
                 output = task.run()
             except Exception as exc:  # deliberate: task errors are data
-                error = exc
+                error = TaskError.from_exception(exc)
             self._results.put(
                 LocalResult(
                     task_id=task.task_id,

@@ -1,0 +1,389 @@
+"""Process-backed Work Queue executor: real parallelism on real cores.
+
+:class:`repro.workqueue.local.LocalWorkQueue` runs payloads on threads,
+so CPU-bound Truth Discovery work (Baum-Welch, Viterbi) serializes on
+the GIL.  :class:`ProcessWorkQueue` keeps the same submit / priority /
+drain API but executes payloads in worker *processes*, which is what the
+paper's Work Queue deployment actually does (Section IV-A): one master,
+N single-task workers, tasks shipped to whichever worker is free.
+
+Design points, mirroring Work Queue's fault model:
+
+- **Picklable payloads.**  Tasks must carry a payload that survives a
+  process boundary — a :class:`repro.workqueue.task.PayloadSpec`
+  (module-level function + args) rather than a closure.  Closures are
+  rejected at submit time with a pointed error.
+- **Bounded in-flight dispatch.**  Each worker holds at most one task;
+  the master keeps the backlog and feeds workers as they free up, using
+  the same priority-weighted draw as the thread backend.  No task data
+  is serialized before a worker is ready for it.
+- **Per-task timeout.**  A task that exceeds ``task.timeout`` has its
+  worker terminated and is retried (Work Queue's straggler defense).
+- **Retry on worker death.**  When a worker process dies mid-task —
+  injected fault, OOM kill, segfault in native code — the task is
+  re-queued (up to ``task.max_retries``) and a replacement worker is
+  spawned, matching the re-queue semantics of the simulated master.
+
+Failures are always reported as data: a task that exhausts its retries
+yields a result whose ``error`` is a picklable
+:class:`repro.workqueue.task.TaskError`, never a raised exception.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+import time
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.workqueue.local import LocalResult
+from repro.workqueue.task import Task, TaskError
+
+__all__ = [
+    "ProcessWorkQueue",
+]
+
+
+def _worker_main(inbox: Any, outbox: Any, worker_name: str) -> None:
+    """Worker process loop: run pickled payloads, report results.
+
+    The payload arrives pre-pickled (the master controls serialization
+    errors explicitly) and the output is pre-pickled on the way back for
+    the same reason: a ``multiprocessing.Queue`` pickles in a background
+    feeder thread, where failures would vanish silently.
+    """
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        task_id, job_id, payload_bytes = item
+        start = time.perf_counter()
+        output = None
+        error: Optional[TaskError] = None
+        try:
+            payload = pickle.loads(payload_bytes)
+            output = payload() if payload is not None else None
+        except Exception as exc:  # deliberate: task errors are data
+            error = TaskError.from_exception(exc)
+        try:
+            output_bytes = pickle.dumps(output)
+        except Exception as exc:  # unpicklable output is a task error
+            error = TaskError.from_exception(exc)
+            output_bytes = pickle.dumps(None)
+        outbox.put(
+            (
+                worker_name,
+                task_id,
+                job_id,
+                output_bytes,
+                time.perf_counter() - start,
+                error,
+            )
+        )
+
+
+class _WorkerHandle:
+    """Master-side record of one worker process."""
+
+    __slots__ = ("process", "inbox", "name", "current", "dispatched_at")
+
+    def __init__(self, process: Any, inbox: Any, name: str) -> None:
+        self.process = process
+        self.inbox = inbox
+        self.name = name
+        self.current: Optional[Task] = None
+        self.dispatched_at: float = 0.0
+
+
+class ProcessWorkQueue:
+    """Multiprocessing executor with priority-weighted bounded dispatch.
+
+    Drop-in for :class:`~repro.workqueue.local.LocalWorkQueue` wherever
+    payloads are picklable:
+
+        >>> from repro.workqueue.task import PayloadSpec, Task
+        >>> wq = ProcessWorkQueue(n_workers=2)        # doctest: +SKIP
+        >>> wq.submit(Task(job_id="j", fn=PayloadSpec(pow, (2, 10))))
+        ...                                           # doctest: +SKIP
+        >>> [r.output for r in wq.drain()]            # doctest: +SKIP
+        [1024]
+
+    Args:
+        n_workers: Worker process count.
+        rng: Seed or generator for the priority-weighted task draw.
+        start_method: ``multiprocessing`` start method; defaults to
+            ``fork`` where available (cheap startup) else ``spawn``.
+        poll_interval: Supervisor wake-up period in seconds; bounds how
+            fast deaths/timeouts are detected.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        rng: np.random.Generator | int | None = None,
+        start_method: str | None = None,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        if start_method is None:
+            start_method = os.environ.get("REPRO_MP_START_METHOD") or None
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._poll_interval = poll_interval
+        self._outbox = self._ctx.Queue()  # process-safe
+        self._results: "queue.Queue[LocalResult]" = queue.Queue()  # thread-safe
+
+        self._lock = threading.Lock()
+        self._rng = rng  # guarded-by: _lock
+        self._pending: list[Task] = []  # guarded-by: _lock
+        self._outstanding = 0  # guarded-by: _lock
+        self.priorities: dict[str, float] = {}  # guarded-by: _lock
+        self._shutdown = False  # guarded-by: _lock
+        self._workers: list[_WorkerHandle] = []  # guarded-by: _lock
+        self._completed: set[int] = set()  # guarded-by: _lock
+        self._worker_serial = 0  # guarded-by: _lock
+
+        with self._lock:
+            for _ in range(n_workers):
+                self._workers.append(self._spawn_worker())
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="process-wq-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    # Public API (mirrors LocalWorkQueue)
+    # ------------------------------------------------------------------
+    def set_priority(self, job_id: str, priority: float) -> None:
+        if priority <= 0:
+            raise ValueError("priority must be > 0")
+        with self._lock:
+            self.priorities[job_id] = priority
+
+    def submit(self, task: Task) -> None:
+        if task.fn is None:
+            raise ValueError("process tasks need a callable payload (task.fn)")
+        qualname = getattr(task.fn, "__qualname__", "")
+        if "<lambda>" in qualname or "<locals>" in qualname:
+            raise ValueError(
+                f"task payload {qualname!r} is a lambda or closure and cannot "
+                "cross a process boundary; wrap a module-level function in "
+                "repro.workqueue.task.PayloadSpec instead"
+            )
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("queue is shut down")
+            self._pending.append(task)
+            self._outstanding += 1
+
+    def drain(self, timeout: float = 60.0) -> list[LocalResult]:
+        """Block until every submitted task has finished; return results."""
+        deadline = time.monotonic() + timeout
+        collected: list[LocalResult] = []
+        while True:
+            with self._lock:
+                outstanding = self._outstanding
+            if outstanding == 0:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"{outstanding} tasks still outstanding")
+            try:
+                result = self._results.get(timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            collected.append(result)
+            with self._lock:
+                self._outstanding -= 1
+        # Pick up any results that raced the counter.
+        while True:
+            try:
+                collected.append(self._results.get_nowait())
+            except queue.Empty:
+                break
+        return collected
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            workers = list(self._workers)
+        for worker in workers:
+            try:
+                worker.inbox.put(None)
+            except (OSError, ValueError):
+                continue  # worker already gone; nothing to signal
+        self._supervisor.join(timeout=10.0)
+        for worker in workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    # Supervisor internals
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> _WorkerHandle:  # holds-lock: _lock
+        """Start one worker process; caller holds the lock and appends."""
+        name = f"proc-worker-{self._worker_serial}"
+        self._worker_serial += 1
+        inbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(inbox, self._outbox, name),
+            name=name,
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(process, inbox, name)
+
+    def _pick_task(self) -> Optional[Task]:  # holds-lock: _lock
+        """Priority-weighted pop; caller holds the lock."""
+        if not self._pending:
+            return None
+        if len(self._pending) == 1:
+            return self._pending.pop(0)
+        weights = np.array(
+            [self.priorities.get(t.job_id, 1.0) for t in self._pending]
+        )
+        index = int(self._rng.choice(len(self._pending), p=weights / weights.sum()))
+        return self._pending.pop(index)
+
+    def _dispatch_one(self, worker: _WorkerHandle) -> bool:  # holds-lock: _lock
+        """Feed one pending task to an idle worker; caller holds the lock."""
+        task = self._pick_task()
+        if task is None:
+            return False
+        try:
+            payload_bytes = pickle.dumps(task.fn)
+        except Exception as exc:  # unpicklable payload fails the task
+            self._results.put(
+                LocalResult(
+                    task_id=task.task_id,
+                    job_id=task.job_id,
+                    worker_name=worker.name,
+                    output=None,
+                    wall_time=0.0,
+                    error=TaskError.from_exception(exc),
+                )
+            )
+            return True
+        task.attempts += 1
+        task.tried_workers.add(worker.name)
+        worker.current = task
+        worker.dispatched_at = time.monotonic()
+        worker.inbox.put((task.task_id, task.job_id, payload_bytes))
+        return True
+
+    def _handle_result(self, item: tuple) -> None:
+        worker_name, task_id, job_id, output_bytes, wall_time, error = item
+        with self._lock:
+            if task_id in self._completed:
+                return  # duplicate from a retry whose first attempt landed
+            self._completed.add(task_id)
+            for worker in self._workers:
+                if worker.name == worker_name:
+                    worker.current = None
+        self._results.put(
+            LocalResult(
+                task_id=task_id,
+                job_id=job_id,
+                worker_name=worker_name,
+                output=pickle.loads(output_bytes),
+                wall_time=wall_time,
+                error=error,
+            )
+        )
+
+    def _fail_or_requeue(self, task: Task, reason: str) -> None:  # holds-lock: _lock
+        """Retry a task lost to a dead/timed-out worker; caller holds lock."""
+        if task.task_id in self._completed:
+            return  # its result already came back; nothing was lost
+        if task.attempts <= task.max_retries:
+            self._pending.append(task)
+            return
+        self._completed.add(task.task_id)
+        self._results.put(
+            LocalResult(
+                task_id=task.task_id,
+                job_id=task.job_id,
+                worker_name="<master>",
+                output=None,
+                wall_time=0.0,
+                error=TaskError(
+                    type_name="WorkerLost",
+                    message=(
+                        f"{reason} after {task.attempts} attempt(s) "
+                        f"on workers {sorted(task.tried_workers)}"
+                    ),
+                ),
+            )
+        )
+
+    def _reap_and_dispatch(self) -> bool:
+        """One supervisor pass; returns True when the loop should exit."""
+        now = time.monotonic()
+        with self._lock:
+            survivors: list[_WorkerHandle] = []
+            replacements: list[_WorkerHandle] = []
+            any_alive = False
+            for worker in list(self._workers):
+                timed_out = (
+                    worker.current is not None
+                    and worker.current.timeout is not None
+                    and now - worker.dispatched_at > worker.current.timeout
+                )
+                if timed_out and worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=1.0)
+                if worker.process.is_alive():
+                    survivors.append(worker)
+                    any_alive = True
+                    continue
+                if worker.current is not None:
+                    reason = (
+                        f"task exceeded timeout={worker.current.timeout}s"
+                        if timed_out
+                        else f"worker {worker.name} died"
+                    )
+                    self._fail_or_requeue(worker.current, reason)
+                    worker.current = None
+                if not self._shutdown:
+                    replacements.append(self._spawn_worker())
+                    any_alive = True
+            self._workers = survivors + replacements
+            if not self._shutdown:
+                for worker in self._workers:
+                    if worker.current is None and not self._dispatch_one(worker):
+                        break
+            return self._shutdown and not any_alive
+
+    def _supervise(self) -> None:
+        while True:
+            try:
+                item = self._outbox.get(timeout=self._poll_interval)
+            except queue.Empty:
+                item = None
+            if item is not None:
+                self._handle_result(item)
+                # Drain whatever else is ready before the housekeeping pass.
+                while True:
+                    try:
+                        self._handle_result(self._outbox.get_nowait())
+                    except queue.Empty:
+                        break
+            if self._reap_and_dispatch():
+                return

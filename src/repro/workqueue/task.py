@@ -13,16 +13,85 @@ thread-backed executor (which really calls it).
 from __future__ import annotations
 
 import itertools
+import traceback as traceback_module
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 __all__ = [
     "CostModel",
+    "PayloadSpec",
     "Task",
+    "TaskError",
     "TaskResult",
 ]
 
 _task_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class TaskError:
+    """Serialization-safe record of a task failure.
+
+    Executors never ship raw exception objects back to the master: an
+    exception can hold arbitrary unpicklable state (locks, sockets, HMM
+    instances), which would make results backend-dependent.  Both the
+    thread and the process executors capture failures as a
+    :class:`TaskError` — type name, message, formatted traceback — so a
+    result round-trips identically through either backend.
+
+    Attributes:
+        type_name: Qualified exception class name (e.g. ``ValueError``).
+        message: ``str(exc)`` of the original exception.
+        traceback: Formatted traceback text, empty when unavailable.
+    """
+
+    type_name: str
+    message: str
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "TaskError":
+        """Capture an exception raised by a task payload."""
+        return cls(
+            type_name=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.type_name}: {self.message}"
+
+
+@dataclass(frozen=True)
+class PayloadSpec:
+    """Picklable task payload: a module-level function plus its arguments.
+
+    Closures cannot cross a process boundary, so tasks destined for
+    :class:`repro.workqueue.process.ProcessWorkQueue` carry a spec
+    instead: ``fn`` must be an importable module-level callable and the
+    arguments must themselves be picklable.  The spec is callable with no
+    arguments, so it slots into :attr:`Task.fn` and runs unchanged on the
+    simulated and thread backends too.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.fn is None:
+            raise ValueError("PayloadSpec needs a callable")
+        qualname = getattr(self.fn, "__qualname__", "")
+        if "<lambda>" in qualname or "<locals>" in qualname:
+            raise ValueError(
+                f"PayloadSpec payload {qualname!r} is a lambda or closure; "
+                "use a module-level function so the spec can be pickled"
+            )
+
+    def __call__(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
 
 
 @dataclass(frozen=True, slots=True)

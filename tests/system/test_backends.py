@@ -1,0 +1,106 @@
+"""Backend selection: simulated / threads / processes produce identical TD."""
+
+import pytest
+
+from repro.core.sstd import SSTD
+from repro.streams.events import PopulationConfig, ScenarioSpec
+from repro.streams.generator import GeneratorConfig, generate_trace
+from repro.system.jobs import decode_claim_payload, decode_task_spec
+from repro.system.sstd_system import BACKENDS, DistributedSSTD, SSTDSystemConfig
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    spec = ScenarioSpec(
+        name="backend-test",
+        duration=3600.0,
+        n_reports=400,
+        n_claims=6,
+        claim_texts=("the bridge is closed",),
+        topic="test",
+        mean_truth_flips=1.0,
+        population=PopulationConfig(n_sources=60),
+    )
+    return generate_trace(spec, seed=3, config=GeneratorConfig(with_text=False))
+
+
+@pytest.fixture(scope="module")
+def serial_estimates(small_trace):
+    estimates = SSTD().discover(list(small_trace.reports))
+    estimates.sort(key=lambda e: (e.claim_id, e.timestamp))
+    return estimates
+
+
+class TestConfigValidation:
+    def test_backends_constant(self):
+        assert BACKENDS == ("simulated", "threads", "processes")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SSTDSystemConfig(backend="mapreduce")
+
+    def test_drain_timeout_validated(self):
+        with pytest.raises(ValueError, match="drain_timeout"):
+            SSTDSystemConfig(drain_timeout=0.0)
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_estimates_match_serial_engine(
+        self, backend, small_trace, serial_estimates
+    ):
+        config = SSTDSystemConfig(n_workers=2, backend=backend)
+        outcome = DistributedSSTD(config).run_batch(list(small_trace.reports))
+        assert list(outcome.estimates) == serial_estimates
+        assert outcome.n_jobs == 6
+        assert outcome.makespan > 0
+
+    def test_real_backend_accounting(self, small_trace):
+        config = SSTDSystemConfig(n_workers=2, backend="threads")
+        outcome = DistributedSSTD(config).run_batch(list(small_trace.reports))
+        assert outcome.n_tasks == outcome.n_jobs
+        assert outcome.worker_count == 2
+        assert outcome.peak_worker_count == 2
+        assert outcome.total_busy_time > 0
+
+
+class TestIntervalsReal:
+    def test_threads_interval_replay(self, small_trace):
+        config = SSTDSystemConfig(n_workers=2, backend="threads", deadline=30.0)
+        result = DistributedSSTD(config).run_intervals(
+            small_trace, n_intervals=4, compute_estimates=True
+        )
+        assert len(result.tracker.records) == 4
+        assert 0.0 <= result.hit_rate <= 1.0
+        assert result.final_worker_count == 2
+        # Cumulative re-decoding emits each grid point at most once.
+        seen = [(e.claim_id, e.timestamp) for e in result.estimates]
+        assert len(seen) == len(set(seen))
+        assert result.estimates
+
+    def test_execution_times_positive(self, small_trace):
+        config = SSTDSystemConfig(n_workers=1, backend="threads", deadline=30.0)
+        result = DistributedSSTD(config).run_intervals(small_trace, n_intervals=3)
+        assert all(t >= 0 for t in result.execution_times)
+
+
+class TestJobSpecs:
+    def test_decode_payload_matches_engine(self, small_trace, serial_estimates):
+        engine = SSTD()
+        grouped = engine.group_reports(list(small_trace.reports))
+        claim_id = sorted(grouped)[0]
+        payload = decode_claim_payload(
+            claim_id, tuple(grouped[claim_id]), engine.config
+        )
+        expected = [e for e in serial_estimates if e.claim_id == claim_id]
+        assert list(payload) == expected
+
+    def test_decode_task_spec_is_picklable(self, small_trace):
+        import pickle
+
+        engine = SSTD()
+        grouped = engine.group_reports(list(small_trace.reports))
+        claim_id = sorted(grouped)[0]
+        spec = decode_task_spec(claim_id, grouped[claim_id], engine.config)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone() == spec()

@@ -1,11 +1,12 @@
 """Tests for the thread-backed local Work Queue executor."""
 
+import pickle
 import threading
 import time
 
 import pytest
 
-from repro.workqueue import LocalWorkQueue, Task
+from repro.workqueue import LocalWorkQueue, Task, TaskError
 
 
 @pytest.fixture
@@ -44,6 +45,20 @@ class TestLocalWorkQueue:
         (result,) = wq.drain()
         assert not result.ok
         assert "kaput" in str(result.error)
+
+    def test_error_is_picklable_task_error(self, wq):
+        """Failures are TaskError data, identical across backends."""
+
+        def boom():
+            raise ValueError("serialization-safe")
+
+        wq.submit(Task(job_id="j", fn=boom))
+        (result,) = wq.drain()
+        assert isinstance(result.error, TaskError)
+        assert result.error.type_name == "ValueError"
+        assert "boom" in result.error.traceback
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored.error == result.error
 
     def test_payload_required(self, wq):
         with pytest.raises(ValueError, match="callable"):
