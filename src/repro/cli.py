@@ -230,16 +230,27 @@ def _add_lint(subparsers: argparse._SubParsersAction) -> None:
             "Project-specific lint: SSTD001 exception hygiene, SSTD002 "
             "mutable defaults, SSTD003 lock discipline, SSTD004 seeded "
             "randomness, SSTD005 probability-safe log/exp, SSTD006 "
-            "__all__ declarations. Suppress a finding with a trailing "
-            "'# noqa: SSTD###' comment."
+            "__all__ declarations, SSTD007 guarded-state escapes, "
+            "SSTD008 blocking under a lock, SSTD009 payload "
+            "picklability, SSTD010 thread/process lifecycle. Suppress a "
+            "finding with a trailing '# noqa: SSTD###' comment; stale "
+            "suppressions are flagged as SSTD000."
         ),
     )
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files/directories (default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text",
                         help="report format (default: text)")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids, e.g. SSTD003,SSTD004")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the .lint_cache/ result cache")
+    parser.add_argument("--no-stale-noqa", action="store_true",
+                        help="skip the SSTD000 stale-suppression audit")
+    parser.add_argument("--json-report", type=Path, default=None,
+                        metavar="FILE",
+                        help="additionally write the JSON report to FILE")
     parser.add_argument("--list-rules", action="store_true",
                         help="print registered rules and exit")
     parser.set_defaults(func=_run_lint)
@@ -252,6 +263,12 @@ def _run_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.select:
         argv += ["--select", args.select]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.no_stale_noqa:
+        argv.append("--no-stale-noqa")
+    if args.json_report is not None:
+        argv += ["--json-report", str(args.json_report)]
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)

@@ -1,0 +1,125 @@
+"""Content-hash result cache for the SSTD lint engine.
+
+Linting is pure: findings are a function of (engine + rules, flags,
+file path, file content).  The cache keys on exactly that — a sha256
+over a fingerprint of the lint package's own sources, the selected
+rule ids, the audit flags, the file's path, and the file's bytes — so
+a cache entry can never serve stale findings: editing either the file
+*or any lint rule* changes the key.
+
+Entries live as small JSON files under ``.lint_cache/`` (git-ignored).
+Every failure mode — unreadable file, corrupt entry, read-only cache
+directory — degrades to a cache miss; the cache can make linting
+faster but never change its output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.devtools.lint.engine import Finding
+
+__all__ = ["DEFAULT_CACHE_DIR", "LintCache"]
+
+DEFAULT_CACHE_DIR = Path(".lint_cache")
+
+_fingerprint: str | None = None
+
+
+def _package_fingerprint() -> str:
+    """Digest of the lint package's own sources (computed once).
+
+    Any edit to the engine, the flow walker, or a rule module changes
+    the fingerprint and therefore invalidates every cached entry.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).resolve().parent
+        for source in sorted(package_dir.rglob("*.py")):
+            digest.update(str(source.relative_to(package_dir)).encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+class LintCache:
+    """File-backed findings cache keyed by content hash."""
+
+    def __init__(self, root: Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _key(
+        self,
+        path: Path,
+        rule_ids: tuple[str, ...],
+        audit_noqa: bool | None,
+        source: bytes,
+    ) -> str:
+        digest = hashlib.sha256()
+        for part in (
+            _package_fingerprint(),
+            ",".join(rule_ids),
+            repr(audit_noqa),
+            str(path),
+        ):
+            digest.update(part.encode())
+            digest.update(b"\0")
+        digest.update(source)
+        return digest.hexdigest()
+
+    def _entry(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(
+        self,
+        path: Path,
+        rule_ids: tuple[str, ...],
+        audit_noqa: bool | None,
+    ) -> list[Finding] | None:
+        """Stored findings for ``path``, or ``None`` on any miss."""
+        try:
+            source = path.read_bytes()
+            raw = self._entry(
+                self._key(path, rule_ids, audit_noqa, source)
+            ).read_text(encoding="utf-8")
+            payload = json.loads(raw)
+            findings = [
+                Finding(
+                    rule_id=str(item["rule"]),
+                    message=str(item["message"]),
+                    path=str(item["path"]),
+                    line=int(item["line"]),
+                    col=int(item["col"]),
+                )
+                for item in payload["findings"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(
+        self,
+        path: Path,
+        rule_ids: tuple[str, ...],
+        audit_noqa: bool | None,
+        findings: list[Finding],
+    ) -> None:
+        """Store findings; silently a no-op if the cache is unwritable."""
+        try:
+            source = path.read_bytes()
+            self.root.mkdir(parents=True, exist_ok=True)
+            entry = self._entry(self._key(path, rule_ids, audit_noqa, source))
+            entry.write_text(
+                json.dumps({"findings": [f.as_dict() for f in findings]}),
+                encoding="utf-8",
+            )
+        except OSError:
+            return

@@ -4,12 +4,19 @@ Usage::
 
     python -m repro.devtools.lint src/repro            # lint the package
     python -m repro.devtools.lint --format json src    # machine-readable
+    python -m repro.devtools.lint --format github src  # CI annotations
     python -m repro.devtools.lint --select SSTD003 src/repro/workqueue
+    python -m repro.devtools.lint --no-cache --json-report lint.json src
     python -m repro.devtools.lint --list-rules
 
 Exits non-zero when any finding survives suppression, so the command
 doubles as a CI gate.  Suppress an individual finding with a trailing
-``# noqa: SSTD###`` comment on the flagged line (justify it nearby).
+``# noqa: SSTD###`` comment on the flagged line (justify it nearby);
+suppressions that no longer silence anything are themselves flagged as
+``SSTD000`` unless ``--no-stale-noqa`` is given.
+
+Results are cached under ``.lint_cache/`` keyed by file content and the
+lint package's own sources; ``--no-cache`` forces a full re-run.
 """
 
 from __future__ import annotations
@@ -19,12 +26,17 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.devtools.lint.cache import DEFAULT_CACHE_DIR, LintCache
 from repro.devtools.lint.engine import (
     all_rules,
     iter_python_files,
     lint_file,
 )
-from repro.devtools.lint.reporters import render_json, render_text
+from repro.devtools.lint.reporters import (
+    render_github,
+    render_json,
+    render_text,
+)
 
 __all__ = ["build_parser", "main", "run_lint"]
 
@@ -33,7 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
         description=(
-            "SSTD-specific static analysis: lock discipline, seeded "
+            "SSTD-specific static analysis: lock discipline, blocking-"
+            "under-lock, payload picklability, thread lifecycle, seeded "
             "randomness, probability-safe numerics, exception and export "
             "hygiene. Exits 1 when findings remain, 2 on usage errors."
         ),
@@ -47,9 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); 'github' emits workflow-"
+        "command annotations for Actions runs",
     )
     parser.add_argument(
         "--select",
@@ -57,6 +71,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RULES",
         help="comma-separated rule ids to run (default: all), e.g. "
         "SSTD003,SSTD004",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the .lint_cache/ result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="result cache directory (default: .lint_cache)",
+    )
+    parser.add_argument(
+        "--no-stale-noqa",
+        action="store_true",
+        help="skip the SSTD000 stale-suppression audit",
+    )
+    parser.add_argument(
+        "--json-report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (any --format)",
     )
     parser.add_argument(
         "--list-rules",
@@ -71,23 +109,50 @@ def _default_paths() -> list[Path]:
     return [preferred if preferred.is_dir() else Path(".")]
 
 
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}
+
+
 def run_lint(
     paths: Sequence[Path],
     output_format: str = "text",
     select: str | None = None,
+    use_cache: bool = False,
+    cache_dir: Path = DEFAULT_CACHE_DIR,
+    audit_noqa: bool | None = None,
+    json_report: Path | None = None,
 ) -> tuple[str, int]:
-    """Lint ``paths``; returns ``(report, exit_code)``."""
+    """Lint ``paths``; returns ``(report, exit_code)``.
+
+    ``audit_noqa=None`` lets the engine decide (stale-``noqa`` audit on
+    exactly when the full rule set runs).  A partial ``--select`` run
+    therefore never reports SSTD000 stale suppressions.
+    """
     selected = select.split(",") if select else None
     rules = all_rules(selected)
+    rule_ids = tuple(sorted(rule.rule_id for rule in rules))
+    cache = LintCache(cache_dir) if use_cache else None
     files = list(iter_python_files(paths))
     findings = []
     for file_path in files:
-        findings.extend(lint_file(file_path, rules=rules))
+        if cache is not None:
+            cached = cache.get(file_path, rule_ids, audit_noqa)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+        file_findings = lint_file(file_path, rules=rules, audit_noqa=audit_noqa)
+        if cache is not None:
+            cache.put(file_path, rule_ids, audit_noqa, file_findings)
+        findings.extend(file_findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    if output_format == "json":
-        report = render_json(findings, n_files=len(files))
-    else:
-        report = render_text(findings, n_files=len(files))
+    report = _RENDERERS[output_format](findings, n_files=len(files))
+    if json_report is not None:
+        json_report.write_text(
+            render_json(findings, n_files=len(files)) + "\n", encoding="utf-8"
+        )
     return report, 1 if findings else 0
 
 
@@ -104,7 +169,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
     try:
-        report, code = run_lint(paths, output_format=args.format, select=args.select)
+        report, code = run_lint(
+            paths,
+            output_format=args.format,
+            select=args.select,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            audit_noqa=False if args.no_stale_noqa else None,
+            json_report=args.json_report,
+        )
     except KeyError as exc:
         print(str(exc.args[0]) if exc.args else str(exc), file=sys.stderr)
         return 2

@@ -5,6 +5,11 @@ The engine is deliberately small — a file is parsed once into an
 :class:`Finding` records, and ``# noqa: SSTD###`` comments on the
 flagged physical line suppress findings the author has justified.
 
+Suppressions are themselves audited: when the full rule set runs, a
+``# noqa`` comment that silences nothing is reported as ``SSTD000``
+(stale suppression) so justifications cannot outlive the code they
+excused.  Stale-suppression findings are not themselves suppressible.
+
 Adding a rule:
 
 >>> @register
@@ -19,7 +24,9 @@ Adding a rule:
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -35,6 +42,7 @@ __all__ = [
     "lint_source",
     "module_name_for",
     "register",
+    "stale_noqa_findings",
 ]
 
 _NOQA_RE = re.compile(
@@ -189,30 +197,131 @@ def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
     return [RULE_REGISTRY[rule_id]() for rule_id in ids]
 
 
+def _noqa_comments(
+    source: str,
+) -> dict[int, tuple[frozenset[str] | None, int]]:
+    """Map line -> (suppressed codes or None for bare, column) per ``noqa``.
+
+    Tokenize-based so ``# noqa`` spelled inside a string literal or
+    docstring (this module's own docstrings, for one) is not mistaken
+    for a suppression the way a per-line regex would.
+    """
+    comments: dict[int, tuple[frozenset[str] | None, int]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            parsed = (
+                None
+                if codes is None
+                else frozenset(
+                    c.strip().upper() for c in codes.lstrip(":").split(",")
+                )
+            )
+            comments[tok.start[0]] = (parsed, tok.start[1] + match.start())
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return comments
+
+
+def stale_noqa_findings(
+    source: str, path: str, silenced_by_line: dict[int, set[str]]
+) -> list[Finding]:
+    """SSTD000 findings for ``noqa`` comments that suppress nothing.
+
+    ``silenced_by_line`` maps line numbers to the rule ids whose
+    findings a suppression on that line actually silenced this run.
+    Suppressions listing only foreign codes (``# noqa: F401``) belong
+    to other tools and are never judged; mixed lists are judged only
+    if none of their SSTD codes fired.
+    """
+    findings: list[Finding] = []
+    for line, (codes, col) in sorted(_noqa_comments(source).items()):
+        silenced = silenced_by_line.get(line, set())
+        if codes is None:
+            if silenced:
+                continue
+            message = (
+                "stale suppression: bare '# noqa' silences no finding on "
+                "this line; delete the comment"
+            )
+        else:
+            sstd = {c for c in codes if c.startswith("SSTD")}
+            if not sstd:
+                continue  # another tool's suppression; not ours to judge
+            if sstd & silenced:
+                continue
+            listed = ", ".join(sorted(sstd))
+            message = (
+                f"stale suppression: '# noqa: {listed}' silences no "
+                f"{listed} finding on this line; delete or update the "
+                "comment"
+            )
+        findings.append(
+            Finding(
+                rule_id="SSTD000",
+                message=message,
+                path=path,
+                line=line,
+                col=col,
+            )
+        )
+    return findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Sequence[Rule] | None = None,
     module: str = "",
+    audit_noqa: bool | None = None,
 ) -> list[Finding]:
-    """Lint a source string; returns unsuppressed findings sorted by position."""
+    """Lint a source string; returns unsuppressed findings sorted by position.
+
+    ``audit_noqa`` adds the stale-suppression audit (SSTD000).  The
+    default (``None``) enables it exactly when the full registered rule
+    set runs — a partial ``--select`` run cannot tell a stale ``noqa``
+    from one whose rule simply was not selected.  Stale-suppression
+    findings bypass ``noqa`` handling: a suppression cannot vouch for
+    itself.
+    """
     if rules is None:
         rules = all_rules()
+    if audit_noqa is None:
+        registered = set(RULE_REGISTRY)
+        audit_noqa = bool(registered) and {r.rule_id for r in rules} >= registered
     ctx = FileContext.from_source(source, path=path, module=module)
     findings: list[Finding] = []
+    silenced_by_line: dict[int, set[str]] = {}
     for rule in rules:
         for finding in rule.check(ctx):
-            if not ctx.is_suppressed(finding):
+            if ctx.is_suppressed(finding):
+                silenced_by_line.setdefault(finding.line, set()).add(
+                    finding.rule_id
+                )
+            else:
                 findings.append(finding)
+    if audit_noqa:
+        findings.extend(stale_noqa_findings(source, path, silenced_by_line))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings
 
 
-def lint_file(path: Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule] | None = None,
+    audit_noqa: bool | None = None,
+) -> list[Finding]:
     """Lint one file.  Syntax errors surface as an SSTD000 finding."""
     try:
         source = path.read_text(encoding="utf-8")
-        return lint_source(source, path=str(path), rules=rules)
+        return lint_source(
+            source, path=str(path), rules=rules, audit_noqa=audit_noqa
+        )
     except SyntaxError as exc:
         return [
             Finding(
@@ -241,12 +350,29 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[Path], rules: Sequence[Rule] | None = None
+    paths: Iterable[Path],
+    rules: Sequence[Rule] | None = None,
+    audit_noqa: bool | None = None,
+    cache: "object | None" = None,
 ) -> list[Finding]:
-    """Lint every python file under ``paths``."""
+    """Lint every python file under ``paths``.
+
+    ``cache``, when given, is a :class:`repro.devtools.lint.cache.LintCache`;
+    files whose content (and lint configuration) is unchanged reuse the
+    stored findings instead of re-running the rules.
+    """
     if rules is None:
         rules = all_rules()
+    rule_ids = tuple(sorted(rule.rule_id for rule in rules))
     findings: list[Finding] = []
     for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, rules=rules))
+        if cache is not None:
+            cached = cache.get(file_path, rule_ids, audit_noqa)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+        file_findings = lint_file(file_path, rules=rules, audit_noqa=audit_noqa)
+        if cache is not None:
+            cache.put(file_path, rule_ids, audit_noqa, file_findings)
+        findings.extend(file_findings)
     return findings

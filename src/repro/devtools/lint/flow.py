@@ -1,0 +1,582 @@
+"""Intraprocedural lockset/flow analysis shared by the concurrency rules.
+
+The per-node syntactic rules (SSTD001–006) can tell whether an access is
+*lexically* inside ``with self._lock:``.  The concurrency rules
+(SSTD007–010) need more: which locks are held on every path reaching a
+statement, what a call's receiver *is* (a queue, a thread, a lock), and
+whether a guarded value leaks out of its lock's scope.  This module
+computes exactly that, once per class, and the rules consume the result.
+
+Two layers:
+
+- :class:`ClassAttrModel` — a lightweight per-class attribute model.
+  It records the ``# guarded-by:`` / ``# lock-alias:`` annotations (the
+  same ones SSTD003 polices) and infers a coarse type for every
+  ``self.<attr>`` assigned in the class body: lock, condition, queue
+  (bounded or not), thread, process, event.  Inference is constructor
+  pattern matching (``threading.Lock()``, ``queue.Queue(8)``,
+  ``ctx.Process(...)``, list comprehensions of those), so it needs no
+  imports resolved at runtime.
+
+- :func:`analyze_class` — a lockset walker over each method body.  It
+  propagates the set of held locks through the statement graph:
+  ``with self._lock:`` blocks, local lock aliases (``lock = self._lock``
+  then ``with lock:``), ``Condition`` aliases, explicit
+  ``.acquire()``/``.release()`` pairs, and ``# holds-lock:`` entry
+  annotations.  Branches are joined conservatively (a lock counts as
+  held after an ``if`` only when both arms hold it).  The walker emits
+  a stream of events — attribute accesses, calls, and lock-scope
+  escapes — each stamped with the lockset at that program point.
+
+Known approximations (see DESIGN.md for the full list): the analysis is
+intraprocedural (one level of ``self.<helper>()`` summaries, no
+fixpoint across classes), nested ``def`` bodies inherit the lexical
+lockset of their definition site, and ``try`` bodies are assumed not to
+change the lockset.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.devtools.lint.engine import FileContext
+from repro.devtools.lint.names import dotted_name
+
+__all__ = [
+    "ALIAS_RE",
+    "AccessEvent",
+    "AttrInfo",
+    "CallEvent",
+    "ClassAttrModel",
+    "ClassFlow",
+    "EscapeEvent",
+    "GUARDED_RE",
+    "HOLDS_RE",
+    "MethodFlow",
+    "analyze_class",
+    "iter_class_flows",
+    "self_attr",
+]
+
+GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(\w+)")
+ALIAS_RE = re.compile(r"#\s*lock-alias:\s*(\w+)")
+HOLDS_RE = re.compile(r"#\s*holds-lock:\s*(\w+)")
+
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+_QUEUE_CTORS = frozenset(
+    {"Queue", "PriorityQueue", "LifoQueue", "SimpleQueue", "JoinableQueue"}
+)
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter"}
+)
+
+
+def is_mutable_container(expr: ast.expr) -> bool:
+    """True for initializers that build a mutable container.
+
+    Snapshotting an immutable guarded value (an int counter, a flag)
+    under the lock is the sanctioned copy-out idiom; only *aliases* to
+    mutable containers race after the lock is released, so the escape
+    analysis keys off this predicate.
+    """
+    if isinstance(
+        expr,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp),
+    ):
+        return True
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func) or ""
+        return name.rsplit(".", 1)[-1] in _MUTABLE_CTORS
+    return False
+
+
+def self_attr(node: ast.expr) -> Optional[str]:
+    """``attr`` for a plain ``self.<attr>`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class AttrInfo:
+    """Coarse inferred type of one attribute or local variable.
+
+    Attributes:
+        kind: One of ``lock``, ``condition``, ``queue``, ``thread``,
+            ``process``, ``event``.
+        bounded: Queues only — True when constructed with a nonzero
+            capacity (``put`` can block).
+        daemon: Threads/processes only — constructed ``daemon=True``.
+        container: True when the binding holds a *collection* of the
+            kind (``self._threads = [Thread(...) for ...]``).
+    """
+
+    kind: str
+    bounded: bool = False
+    daemon: bool = False
+    container: bool = False
+
+
+def _truthy_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and bool(node.value)
+
+
+def _classify_ctor(call: ast.Call) -> Optional[AttrInfo]:
+    """AttrInfo for a recognized constructor call, else None."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    last = name.rsplit(".", 1)[-1]
+    if last in _LOCK_CTORS:
+        return AttrInfo("lock")
+    if last == "Condition":
+        return AttrInfo("condition")
+    if last == "Event":
+        return AttrInfo("event")
+    if last in _QUEUE_CTORS:
+        size: Optional[ast.expr] = call.args[0] if call.args else None
+        for kw in call.keywords:
+            if kw.arg == "maxsize":
+                size = kw.value
+        bounded = size is not None and (
+            not isinstance(size, ast.Constant) or _truthy_constant(size)
+        )
+        return AttrInfo("queue", bounded=bounded)
+    if last in ("Thread", "Process"):
+        daemon = any(
+            kw.arg == "daemon" and _truthy_constant(kw.value)
+            for kw in call.keywords
+        )
+        return AttrInfo(last.lower(), daemon=daemon)
+    return None
+
+
+def classify_value(expr: ast.expr) -> Optional[AttrInfo]:
+    """Classify the value side of an assignment (ctor or collection of)."""
+    if isinstance(expr, ast.Call):
+        return _classify_ctor(expr)
+    elements: list[ast.expr] = []
+    if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+        elements = list(expr.elts)
+    elif isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        elements = [expr.elt]
+    for element in elements:
+        if isinstance(element, ast.Call):
+            info = _classify_ctor(element)
+            if info is not None:
+                return AttrInfo(
+                    info.kind,
+                    bounded=info.bounded,
+                    daemon=info.daemon,
+                    container=True,
+                )
+    return None
+
+
+class ClassAttrModel:
+    """Annotations plus inferred attribute types for one class body."""
+
+    def __init__(self, ctx: FileContext, cls: ast.ClassDef) -> None:
+        self.name = cls.name
+        #: ``# guarded-by:`` — attr name -> guarding lock attr name.
+        self.guards: dict[str, str] = {}
+        #: ``# lock-alias:`` — condition attr name -> lock it wraps.
+        self.aliases: dict[str, str] = {}
+        #: Coarse type per ``self.<attr>``.
+        self.attrs: dict[str, AttrInfo] = {}
+        #: Attrs initialized to a mutable container (escape candidates).
+        self.mutable: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                targets = [node.target] if node.value is not None else []
+            attr_names = [
+                attr for attr in map(self_attr, targets) if attr is not None
+            ]
+            if not attr_names:
+                continue
+            line = ctx.line_text(node.lineno)
+            guarded = GUARDED_RE.search(line)
+            alias = ALIAS_RE.search(line)
+            value = node.value
+            info = classify_value(value) if value is not None else None
+            for attr in attr_names:
+                if guarded is not None:
+                    self.guards[attr] = guarded.group(1)
+                if alias is not None:
+                    self.aliases[attr] = alias.group(1)
+                if info is not None:
+                    self.attrs[attr] = info
+                if value is not None and is_mutable_container(value):
+                    self.mutable.add(attr)
+
+    def lock_names(self) -> frozenset[str]:
+        """Attr names that denote a lock (guard targets or Lock-typed)."""
+        named = set(self.guards.values())
+        typed = {a for a, i in self.attrs.items() if i.kind == "lock"}
+        return frozenset(named | typed)
+
+    def lock_for_attr(self, attr: str) -> Optional[str]:
+        """Canonical lock represented by entering ``with self.<attr>:``.
+
+        A lock attribute stands for itself; a ``# lock-alias:`` condition
+        stands for the lock it wraps; anything else is not a lock.
+        """
+        if attr in self.aliases:
+            return self.aliases[attr]
+        if attr in self.lock_names():
+            return attr
+        if self.attrs.get(attr, AttrInfo("")).kind == "condition":
+            # A Condition with no alias annotation guards as itself.
+            return attr
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class AccessEvent:
+    """One read or write of ``self.<attr>`` at a known lockset."""
+
+    node: ast.Attribute
+    attr: str
+    held: frozenset[str]
+    write: bool
+    method: str
+
+
+@dataclass(frozen=True, slots=True)
+class CallEvent:
+    """One call site, with receiver text and the lockset at the call."""
+
+    node: ast.Call
+    callee: Optional[str]  # dotted text, e.g. "self._results.put"
+    held: frozenset[str]
+    method: str
+
+
+@dataclass(frozen=True, slots=True)
+class EscapeEvent:
+    """A guarded value captured under its lock, used after release."""
+
+    node: ast.AST
+    attr: str
+    lock: str
+    via: str
+    method: str
+
+
+@dataclass(slots=True)
+class MethodFlow:
+    """Everything the walker learned about one method body."""
+
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    entry_locks: frozenset[str]
+    accesses: list[AccessEvent] = field(default_factory=list)
+    calls: list[CallEvent] = field(default_factory=list)
+    escapes: list[EscapeEvent] = field(default_factory=list)
+    local_types: dict[str, AttrInfo] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ClassFlow:
+    """Attribute model plus per-method flow summaries for one class."""
+
+    node: ast.ClassDef
+    model: ClassAttrModel
+    methods: dict[str, MethodFlow] = field(default_factory=dict)
+
+    def requires(self, method_name: str) -> frozenset[str]:
+        """Locks a method is documented to need on entry (holds-lock)."""
+        flow = self.methods.get(method_name)
+        return flow.entry_locks if flow is not None else frozenset()
+
+
+class _MethodWalker:
+    """Walks one method body propagating the held lockset."""
+
+    def __init__(
+        self, model: ClassAttrModel, flow: MethodFlow
+    ) -> None:
+        self.model = model
+        self.flow = flow
+        # Local name -> canonical lock it aliases (lock = self._lock).
+        self.local_locks: dict[str, str] = {}
+        # Local name -> (guarded attr, lock) captured while lock held.
+        self.captures: dict[str, tuple[str, str]] = {}
+
+    # -- statement level ------------------------------------------------
+    def walk_block(
+        self, stmts: list[ast.stmt], held: frozenset[str]
+    ) -> frozenset[str]:
+        for stmt in stmts:
+            held = self.walk_stmt(stmt, held)
+        return held
+
+    def walk_stmt(self, stmt: ast.stmt, held: frozenset[str]) -> frozenset[str]:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired: set[str] = set()
+            for item in stmt.items:
+                self.visit_expr(item.context_expr, held)
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+                if item.optional_vars is not None:
+                    self.visit_expr(item.optional_vars, held, store=True)
+            self.walk_block(stmt.body, held | acquired)
+            return held
+        if isinstance(stmt, ast.If):
+            self.visit_expr(stmt.test, held)
+            after_body = self.walk_block(stmt.body, held)
+            after_else = self.walk_block(stmt.orelse, held)
+            return after_body & after_else
+        if isinstance(stmt, (ast.While,)):
+            self.visit_expr(stmt.test, held)
+            self.walk_block(stmt.body, held)
+            self.walk_block(stmt.orelse, held)
+            return held
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.visit_expr(stmt.iter, held)
+            self._bind_loop_target(stmt.target, stmt.iter)
+            self.visit_expr(stmt.target, held, store=True)
+            self.walk_block(stmt.body, held)
+            self.walk_block(stmt.orelse, held)
+            return held
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            self.walk_block(stmt.body, held)
+            for handler in stmt.handlers:
+                self.walk_block(handler.body, held)
+            self.walk_block(stmt.orelse, held)
+            self.walk_block(stmt.finalbody, held)
+            return held
+        if isinstance(stmt, ast.Assign):
+            self.visit_expr(stmt.value, held)
+            for target in stmt.targets:
+                self._track_assignment(target, stmt.value, held)
+                self.visit_expr(target, held, store=True)
+            return self._apply_lock_calls(stmt.value, held)
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value, held)
+                self._track_assignment(stmt.target, stmt.value, held)
+            self.visit_expr(stmt.target, held, store=True)
+            return held
+        if isinstance(stmt, ast.AugAssign):
+            self.visit_expr(stmt.value, held)
+            self.visit_expr(stmt.target, held, store=True)
+            return held
+        if isinstance(stmt, ast.Expr):
+            self.visit_expr(stmt.value, held)
+            return self._apply_lock_calls(stmt.value, held)
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child, held)
+            return held
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs run later; lexical lockset is an approximation
+            # that matches how the repo uses worker-loop closures.
+            self.walk_block(stmt.body, held)
+            return held
+        if isinstance(stmt, ast.ClassDef):
+            return held
+        # Pass/Break/Continue/Import/Global/Nonlocal: no lock effects.
+        return held
+
+    # -- expression level -----------------------------------------------
+    def visit_expr(
+        self, expr: ast.expr, held: frozenset[str], store: bool = False
+    ) -> None:
+        if isinstance(expr, ast.Attribute):
+            attr = self_attr(expr)
+            if attr is not None:
+                self.flow.accesses.append(
+                    AccessEvent(
+                        node=expr,
+                        attr=attr,
+                        held=held,
+                        write=store or isinstance(expr.ctx, (ast.Store, ast.Del)),
+                        method=self.flow.name,
+                    )
+                )
+                return
+            self.visit_expr(expr.value, held)
+            return
+        if isinstance(expr, ast.Name):
+            if not store:
+                captured = self.captures.get(expr.id)
+                if captured is not None and captured[1] not in held:
+                    attr, lock = captured
+                    self.flow.escapes.append(
+                        EscapeEvent(
+                            node=expr,
+                            attr=attr,
+                            lock=lock,
+                            via=expr.id,
+                            method=self.flow.name,
+                        )
+                    )
+            return
+        if isinstance(expr, ast.Call):
+            self.flow.calls.append(
+                CallEvent(
+                    node=expr,
+                    callee=dotted_name(expr.func),
+                    held=held,
+                    method=self.flow.name,
+                )
+            )
+            self.visit_expr(expr.func, held)
+            for arg in expr.args:
+                self.visit_expr(arg, held)
+            for kw in expr.keywords:
+                self.visit_expr(kw.value, held)
+            return
+        if isinstance(expr, ast.Lambda):
+            self.visit_expr(expr.body, held)
+            return
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in expr.generators:
+                self.visit_expr(gen.iter, held)
+                for cond in gen.ifs:
+                    self.visit_expr(cond, held)
+            if isinstance(expr, ast.DictComp):
+                self.visit_expr(expr.key, held)
+                self.visit_expr(expr.value, held)
+            else:
+                self.visit_expr(expr.elt, held)
+            return
+        if isinstance(expr, ast.Starred):
+            self.visit_expr(expr.value, held, store=store)
+            return
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                self.visit_expr(element, held, store=store)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child, held)
+
+    # -- helpers --------------------------------------------------------
+    def _lock_of(self, expr: ast.expr) -> Optional[str]:
+        """Canonical lock acquired by ``with <expr>:``, if any."""
+        attr = self_attr(expr)
+        if attr is not None:
+            return self.model.lock_for_attr(attr)
+        if isinstance(expr, ast.Name):
+            return self.local_locks.get(expr.id)
+        return None
+
+    def _track_assignment(
+        self, target: ast.expr, value: ast.expr, held: frozenset[str]
+    ) -> None:
+        """Record local lock aliases, captures, and ctor types."""
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        # Reassignment invalidates whatever the name stood for.
+        self.local_locks.pop(name, None)
+        self.captures.pop(name, None)
+        self.flow.local_types.pop(name, None)
+        value_attr = self_attr(value)
+        if value_attr is not None:
+            lock = self.model.lock_for_attr(value_attr)
+            if lock is not None:
+                self.local_locks[name] = lock
+                return
+            guard = self.model.guards.get(value_attr)
+            if (
+                guard is not None
+                and guard in held
+                and value_attr in self.model.mutable
+            ):
+                self.captures[name] = (value_attr, guard)
+            info = self.model.attrs.get(value_attr)
+            if info is not None:
+                self.flow.local_types[name] = info
+            return
+        info = classify_value(value)
+        if info is not None:
+            self.flow.local_types[name] = info
+
+    def _bind_loop_target(self, target: ast.expr, source: ast.expr) -> None:
+        """``for t in self._threads:`` types ``t`` from the container."""
+        if not isinstance(target, ast.Name):
+            return
+        info: Optional[AttrInfo] = None
+        attr = self_attr(source)
+        if attr is not None:
+            info = self.model.attrs.get(attr)
+        elif isinstance(source, ast.Name):
+            info = self.flow.local_types.get(source.id)
+        if info is not None and info.container:
+            self.flow.local_types[target.id] = AttrInfo(
+                info.kind, bounded=info.bounded, daemon=info.daemon
+            )
+
+    def _apply_lock_calls(
+        self, expr: ast.expr, held: frozenset[str]
+    ) -> frozenset[str]:
+        """``self._lock.acquire()`` / ``.release()`` statement effects."""
+        if not (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("acquire", "release")
+        ):
+            return held
+        lock = self._lock_of(expr.func.value)
+        if lock is None:
+            return held
+        if expr.func.attr == "acquire":
+            return held | {lock}
+        return held - {lock}
+
+
+def _entry_locks(
+    ctx: FileContext, method: ast.FunctionDef | ast.AsyncFunctionDef
+) -> frozenset[str]:
+    """Locks declared held on entry via ``# holds-lock:`` near the def."""
+    held: set[str] = set()
+    first_body_line = method.body[0].lineno if method.body else method.lineno
+    for lineno in range(method.lineno, first_body_line + 1):
+        match = HOLDS_RE.search(ctx.line_text(lineno))
+        if match is not None:
+            held.add(match.group(1))
+    return frozenset(held)
+
+
+def analyze_class(ctx: FileContext, cls: ast.ClassDef) -> ClassFlow:
+    """Build the attribute model and walk every method of ``cls``."""
+    model = ClassAttrModel(ctx, cls)
+    flow = ClassFlow(node=cls, model=model)
+    for node in cls.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        method = MethodFlow(
+            name=node.name, node=node, entry_locks=_entry_locks(ctx, node)
+        )
+        walker = _MethodWalker(model, method)
+        walker.walk_block(node.body, method.entry_locks)
+        flow.methods[node.name] = method
+    return flow
+
+
+def iter_class_flows(ctx: FileContext) -> Iterator[ClassFlow]:
+    """Analyze every class in the file (including nested classes)."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            yield analyze_class(ctx, node)

@@ -1,4 +1,4 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: human text, machine JSON, GitHub annotations."""
 
 from __future__ import annotations
 
@@ -8,7 +8,7 @@ from typing import Sequence
 
 from repro.devtools.lint.engine import Finding
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_github", "render_json", "render_text"]
 
 
 def render_text(findings: Sequence[Finding], n_files: int) -> str:
@@ -24,6 +24,48 @@ def render_text(findings: Sequence[Finding], n_files: int) -> str:
         )
     else:
         lines.append(f"clean: 0 findings in {n_files} file(s)")
+    return "\n".join(lines)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command *property* value (file=, title=)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command *message* (data after ``::``)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(findings: Sequence[Finding], n_files: int) -> str:
+    """GitHub Actions ``::error`` workflow commands, one per finding.
+
+    Emitted to stdout inside a workflow run these become inline
+    annotations on the PR diff; a trailing ``::notice`` carries the
+    summary either way.
+    """
+    lines = [
+        "::error file={file},line={line},col={col},title={title}::{message}".format(
+            file=_escape_property(finding.path),
+            line=finding.line,
+            col=finding.col + 1,
+            title=_escape_property(f"{finding.rule_id} lint"),
+            message=_escape_data(f"{finding.rule_id} {finding.message}"),
+        )
+        for finding in findings
+    ]
+    summary = (
+        f"{len(findings)} finding(s) in {n_files} file(s)"
+        if findings
+        else f"clean: 0 findings in {n_files} file(s)"
+    )
+    lines.append(f"::notice title=SSTD lint::{_escape_data(summary)}")
     return "\n".join(lines)
 
 

@@ -7,21 +7,42 @@ Importing this package registers every rule with the engine registry:
 - ``SSTD003`` — lock discipline for ``# guarded-by:`` attributes;
 - ``SSTD004`` — determinism: all randomness must be seeded;
 - ``SSTD005`` — log/exp numerics confined to ``repro.hmm.utils``;
-- ``SSTD006`` — public modules must declare ``__all__``.
+- ``SSTD006`` — public modules must declare ``__all__``;
+- ``SSTD007`` — guarded state must not escape its lock scope;
+- ``SSTD008`` — no blocking calls while holding a lock;
+- ``SSTD009`` — process-queue payloads statically picklable;
+- ``SSTD010`` — threads/processes joined, daemonized, or handed off.
+
+(``SSTD000`` is reserved for engine-level diagnostics — syntax errors
+and stale ``noqa`` suppressions — and is emitted by the engine itself,
+not by a registered rule.)
+
+SSTD003 and SSTD007/008 share the lockset walker in
+:mod:`repro.devtools.lint.flow`.
 """
 
+from repro.devtools.lint.rules.concurrency import (
+    BlockingUnderLockRule,
+    GuardedEscapeRule,
+)
 from repro.devtools.lint.rules.defaults import MutableDefaultRule
 from repro.devtools.lint.rules.determinism import UnseededRandomRule
 from repro.devtools.lint.rules.exceptions import BroadExceptRule
 from repro.devtools.lint.rules.exports import MissingAllRule
+from repro.devtools.lint.rules.lifecycle import ThreadLifecycleRule
 from repro.devtools.lint.rules.locks import LockDisciplineRule
 from repro.devtools.lint.rules.numerics import RawLogExpRule
+from repro.devtools.lint.rules.picklability import PicklabilityRule
 
 __all__ = [
+    "BlockingUnderLockRule",
     "BroadExceptRule",
+    "GuardedEscapeRule",
     "LockDisciplineRule",
     "MissingAllRule",
     "MutableDefaultRule",
+    "PicklabilityRule",
     "RawLogExpRule",
+    "ThreadLifecycleRule",
     "UnseededRandomRule",
 ]

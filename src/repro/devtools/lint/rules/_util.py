@@ -1,59 +1,12 @@
-"""Shared helpers for SSTD lint rules: import tracking, dotted names."""
+"""Shared helpers for SSTD lint rules: import tracking, dotted names.
+
+The implementations moved to :mod:`repro.devtools.lint.names` so the
+flow analyzer can share them without a ``rules`` package cycle; this
+module re-exports them for the rule modules.
+"""
 
 from __future__ import annotations
 
-import ast
+from repro.devtools.lint.names import ImportMap, dotted_name
 
 __all__ = ["ImportMap", "dotted_name"]
-
-
-def dotted_name(node: ast.expr) -> str | None:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-class ImportMap:
-    """Resolves local names to canonical module paths for one file.
-
-    Tracks ``import numpy as np`` (``np`` -> ``numpy``), ``import
-    numpy.random as nr`` (``nr`` -> ``numpy.random``), and ``from X
-    import y as z`` (``z`` -> ``X.y``), so rules can match usage sites
-    regardless of aliasing.
-    """
-
-    def __init__(self, tree: ast.Module) -> None:
-        self.aliases: dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    local = alias.asname or alias.name.split(".")[0]
-                    # `import a.b` binds `a`; `import a.b as c` binds c->a.b
-                    target = alias.name if alias.asname else alias.name.split(".")[0]
-                    self.aliases[local] = target
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    local = alias.asname or alias.name
-                    self.aliases[local] = f"{node.module}.{alias.name}"
-
-    def resolve(self, expr: ast.expr) -> str | None:
-        """Canonical dotted path of a Name/Attribute chain, if importable.
-
-        ``np.random.rand`` with ``import numpy as np`` resolves to
-        ``numpy.random.rand``; unknown roots resolve to the literal
-        dotted name so callers can still pattern-match.
-        """
-        name = dotted_name(expr)
-        if name is None:
-            return None
-        root, _, rest = name.partition(".")
-        canonical_root = self.aliases.get(root, root)
-        return f"{canonical_root}.{rest}" if rest else canonical_root

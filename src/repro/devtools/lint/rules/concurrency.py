@@ -1,0 +1,244 @@
+"""SSTD007/SSTD008: flow-aware race and deadlock checks.
+
+Both rules consume the lockset walker in
+:mod:`repro.devtools.lint.flow`; SSTD003 already polices direct
+unguarded accesses, so these rules cover what a per-node check cannot
+see:
+
+- **SSTD007** — lock-scope *escapes*.  Calling a helper annotated
+  ``# holds-lock: <lock>`` without holding the lock (the helper's own
+  body passes SSTD003 because of the annotation, so the call site is
+  where the race hides), and capturing a ``# guarded-by:`` value into a
+  local under the lock and then using it after release.
+
+- **SSTD008** — *blocking calls while holding a lock*.  Holding the
+  master lock across ``Thread.join``/``Process.join``, a blocking
+  ``Queue.get``/``Queue.put`` (bounded puts), ``time.sleep``,
+  ``.drain()``, or a ``Thread``/``Process`` ``start()`` stalls every
+  thread contending for the lock — the exact hang class the Work Queue
+  supervisor is exposed to.  Calls to same-class helpers that the
+  walker found to contain blocking operations are flagged too (one
+  intra-class summary fixpoint, no cross-class propagation).
+  ``Condition.wait``/``notify`` are exempt: ``wait`` releases the lock
+  it wraps by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+from repro.devtools.lint.flow import (
+    AttrInfo,
+    CallEvent,
+    ClassFlow,
+    MethodFlow,
+    iter_class_flows,
+)
+from repro.devtools.lint.names import ImportMap
+
+__all__ = ["BlockingUnderLockRule", "GuardedEscapeRule"]
+
+
+@register
+class GuardedEscapeRule(Rule):
+    rule_id = "SSTD007"
+    summary = "guarded state must not escape its lock scope"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for flow in iter_class_flows(ctx):
+            if not flow.model.guards:
+                continue
+            for method in flow.methods.values():
+                if method.name == "__init__":
+                    continue
+                yield from self._check_helper_calls(ctx, flow, method)
+                for escape in method.escapes:
+                    yield self.finding(
+                        ctx,
+                        escape.node,
+                        f"value of self.{escape.attr} "
+                        f"('# guarded-by: {escape.lock}') captured into "
+                        f"'{escape.via}' under the lock is used after "
+                        f"self.{escape.lock} is released in "
+                        f"{method.name}(); keep the use inside "
+                        f"'with self.{escape.lock}:' or copy the data out",
+                    )
+
+    def _check_helper_calls(
+        self, ctx: FileContext, flow: ClassFlow, method: MethodFlow
+    ) -> Iterator[Finding]:
+        for event in method.calls:
+            callee = event.callee
+            if callee is None or not callee.startswith("self."):
+                continue
+            helper = callee[len("self."):]
+            if "." in helper:
+                continue
+            required = flow.requires(helper)
+            for lock in sorted(required - event.held):
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"self.{helper}() is annotated "
+                    f"'# holds-lock: {lock}' but {method.name}() calls "
+                    f"it without holding self.{lock}; wrap the call in "
+                    f"'with self.{lock}:'",
+                )
+
+
+def _resolve(imports: ImportMap, callee: str) -> str:
+    root, _, rest = callee.partition(".")
+    canonical = imports.aliases.get(root, root)
+    return f"{canonical}.{rest}" if rest else canonical
+
+
+def _nonblocking_call(call: ast.Call, meth: str) -> bool:
+    """True for ``get(False)`` / ``put(x, False)`` / ``block=False``."""
+    index = 0 if meth == "get" else 1
+    if len(call.args) > index:
+        arg = call.args[index]
+        return isinstance(arg, ast.Constant) and arg.value is False
+    for kw in call.keywords:
+        if kw.arg == "block":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is False
+    return False
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    rule_id = "SSTD008"
+    summary = "no blocking calls while holding a lock"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for flow in iter_class_flows(ctx):
+            blocking_methods = self._blocking_summary(flow, imports)
+            for method in flow.methods.values():
+                for event in method.calls:
+                    if not event.held:
+                        continue
+                    reason = self._blocking_reason(
+                        event, flow, method, imports
+                    )
+                    if reason is None:
+                        reason = self._blocking_helper(
+                            event, blocking_methods
+                        )
+                    if reason is None:
+                        continue
+                    locks = ", ".join(
+                        f"self.{lock}" for lock in sorted(event.held)
+                    )
+                    yield self.finding(
+                        ctx,
+                        event.node,
+                        f"{method.name}() {reason} while holding {locks}; "
+                        "release the lock first (snapshot the state you "
+                        "need, then block outside the critical section)",
+                    )
+
+    # -- classification -------------------------------------------------
+    def _receiver_info(
+        self, receiver: str, flow: ClassFlow, method: MethodFlow
+    ) -> Optional[AttrInfo]:
+        if receiver.startswith("self."):
+            attr = receiver[len("self."):]
+            if "." in attr:
+                return None
+            return flow.model.attrs.get(attr)
+        if "." in receiver:
+            return None
+        return method.local_types.get(receiver)
+
+    def _blocking_reason(
+        self,
+        event: CallEvent,
+        flow: ClassFlow,
+        method: MethodFlow,
+        imports: ImportMap,
+    ) -> Optional[str]:
+        callee = event.callee
+        if callee is None:
+            return None
+        if _resolve(imports, callee) == "time.sleep":
+            return "calls time.sleep()"
+        receiver, _, meth = callee.rpartition(".")
+        if not receiver:
+            return None
+        info = self._receiver_info(receiver, flow, method)
+        if meth == "join":
+            root = receiver.split(".", 1)[0]
+            if root != "self" and root in imports.aliases:
+                return None  # module-level join (os.path.join)
+            if info is not None and info.kind not in (
+                "thread",
+                "process",
+                "queue",
+            ):
+                return None  # a str/list/lock receiver; join is not blocking
+            return f"calls {receiver}.join(), which blocks until exit,"
+        if meth == "drain":
+            return (
+                f"calls {receiver}.drain(), which blocks until every "
+                "outstanding task finishes,"
+            )
+        if meth in ("get", "put"):
+            if info is None or info.kind != "queue":
+                return None
+            if _nonblocking_call(event.node, meth):
+                return None
+            if meth == "put" and not info.bounded:
+                return None  # unbounded put never blocks
+            return f"calls blocking {receiver}.{meth}()"
+        if meth == "start":
+            if info is not None and info.kind in ("thread", "process"):
+                return (
+                    f"spawns a {info.kind} via {receiver}.start()"
+                )
+            return None
+        return None
+
+    def _blocking_helper(
+        self, event: CallEvent, blocking_methods: dict[str, str]
+    ) -> Optional[str]:
+        callee = event.callee
+        if callee is None or not callee.startswith("self."):
+            return None
+        helper = callee[len("self."):]
+        if "." in helper:
+            return None
+        inner = blocking_methods.get(helper)
+        if inner is None:
+            return None
+        return f"calls self.{helper}(), which blocks ({inner}),"
+
+    def _blocking_summary(
+        self, flow: ClassFlow, imports: ImportMap
+    ) -> dict[str, str]:
+        """Method name -> why it blocks, propagated one class at a time."""
+        summary: dict[str, str] = {}
+        for method in flow.methods.values():
+            for event in method.calls:
+                reason = self._blocking_reason(event, flow, method, imports)
+                if reason is not None:
+                    summary.setdefault(method.name, reason)
+                    break
+        # Fixpoint: a method calling a blocking same-class helper blocks.
+        changed = True
+        while changed:
+            changed = False
+            for method in flow.methods.values():
+                if method.name in summary:
+                    continue
+                for event in method.calls:
+                    callee = event.callee or ""
+                    helper = callee[len("self."):] if callee.startswith(
+                        "self."
+                    ) else ""
+                    if helper and "." not in helper and helper in summary:
+                        summary[method.name] = f"via self.{helper}()"
+                        changed = True
+                        break
+        return summary

@@ -1,0 +1,175 @@
+"""SSTD010: thread/process lifecycle — no leaked workers.
+
+Every ``threading.Thread`` / ``multiprocessing.Process`` the tree
+creates must end up in exactly one of three states the master can
+reason about:
+
+- **daemonized** — constructed with ``daemon=True`` (or ``.daemon =
+  True`` before start), so interpreter exit does not hang on it;
+- **joined** — ``<binding>.join(...)`` appears somewhere in the file,
+  including the ``for t in self._threads: t.join()`` loop form;
+- **handed off** — the object is returned, passed to a call, or placed
+  in a container (pool-registration patterns like
+  ``_WorkerHandle(process, ...)``), making some other component
+  responsible for it.
+
+A worker bound to a name and then merely ``start()``-ed — or started
+inline, ``Thread(...).start()`` — leaks: nothing can ever join it, and
+a non-daemon leak blocks interpreter shutdown (the flake class PR 2's
+worker-death tests are most exposed to).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+from repro.devtools.lint.flow import classify_value
+from repro.devtools.lint.names import dotted_name
+
+__all__ = ["ThreadLifecycleRule"]
+
+
+def _parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _joined_receivers(tree: ast.Module) -> set[str]:
+    """Dotted receivers ``r`` with an ``r.join(...)`` call, incl. loops."""
+    joined: set[str] = set()
+    loop_vars: dict[str, str] = {}  # loop var -> iterated dotted source
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            source = dotted_name(node.iter)
+            if source is not None and isinstance(node.target, ast.Name):
+                loop_vars[node.target.id] = source
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+        ):
+            continue
+        receiver = dotted_name(node.func.value)
+        if receiver is None:
+            continue
+        joined.add(receiver)
+        if receiver in loop_vars:
+            joined.add(loop_vars[receiver])
+    return joined
+
+
+def _daemonized_receivers(tree: ast.Module) -> set[str]:
+    """Dotted receivers with a ``<r>.daemon = True`` assignment."""
+    daemonized: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (
+            isinstance(node.value, ast.Constant) and node.value.value is True
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) and target.attr == "daemon":
+                receiver = dotted_name(target.value)
+                if receiver is not None:
+                    daemonized.add(receiver)
+    return daemonized
+
+
+def _escapes(
+    tree: ast.Module, binding: str, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """True when ``binding`` is handed off: returned, passed, collected.
+
+    ``x.join()`` / ``x.start()`` read the binding through an Attribute
+    parent; any other Load use (call argument, return value, container
+    literal) transfers ownership to the receiver.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Name, ast.Attribute)):
+            continue
+        if dotted_name(node) != binding:
+            continue
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            continue
+        if not isinstance(parents.get(node), ast.Attribute):
+            return True
+    return False
+
+
+@register
+class ThreadLifecycleRule(Rule):
+    rule_id = "SSTD010"
+    summary = "threads/processes are joined, daemonized, or handed off"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        parents = _parent_map(ctx.tree)
+        joined = _joined_receivers(ctx.tree)
+        daemonized = _daemonized_receivers(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            info = classify_value(node)
+            if info is None or info.kind not in ("thread", "process"):
+                continue
+            if info.daemon:
+                continue
+            finding = self._check_ctor(
+                ctx, node, info.kind, parents, joined, daemonized
+            )
+            if finding is not None:
+                yield finding
+
+    def _check_ctor(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        kind: str,
+        parents: dict[ast.AST, ast.AST],
+        joined: set[str],
+        daemonized: set[str],
+    ) -> Finding | None:
+        parent = parents.get(node)
+        # `Thread(...).start()` — started inline, can never be joined.
+        if (
+            isinstance(parent, ast.Attribute)
+            and parent.attr == "start"
+            and isinstance(parents.get(parent), ast.Call)
+        ):
+            return self.finding(
+                ctx,
+                node,
+                f"{kind} is started inline and never joined; bind it and "
+                "join it, pass daemon=True, or register it with a pool",
+            )
+        # Bound to a name: require a join, a daemon flag, or an escape.
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets
+                if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            for target in targets:
+                binding = dotted_name(target)
+                if binding is None:
+                    continue
+                if binding in joined or binding in daemonized:
+                    return None
+                if _escapes(ctx.tree, binding, parents):
+                    return None
+                return self.finding(
+                    ctx,
+                    node,
+                    f"{kind} bound to {binding!r} is never joined, "
+                    "daemonized, or handed off; a leaked non-daemon "
+                    f"{kind} blocks interpreter shutdown",
+                )
+        # Anything else (call argument, return, container element) is a
+        # hand-off; ownership lies with the receiver.
+        return None

@@ -19,104 +19,24 @@ Three annotations drive the rule:
 - ``# holds-lock: <lock>`` on a ``def`` line — the method is documented
   as called with ``<lock>`` already held, so its whole body passes.
 
+Since PR 3 the rule runs on the shared lockset walker
+(:mod:`repro.devtools.lint.flow`), so it also understands local lock
+aliases (``lock = self._lock`` followed by ``with lock:``) and joins
+branches conservatively.  The escape analysis built on the same walker
+lives in SSTD007 (:mod:`repro.devtools.lint.rules.concurrency`).
+
 The rule is annotation-driven, so it is safe to run repo-wide: files
 without annotations produce no findings.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 from typing import Iterator
 
 from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+from repro.devtools.lint.flow import iter_class_flows
 
 __all__ = ["LockDisciplineRule"]
-
-_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(\w+)")
-_ALIAS_RE = re.compile(r"#\s*lock-alias:\s*(\w+)")
-_HOLDS_RE = re.compile(r"#\s*holds-lock:\s*(\w+)")
-
-
-def _self_attr(node: ast.expr) -> str | None:
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    ):
-        return node.attr
-    return None
-
-
-def _assigned_self_attrs(stmt: ast.stmt) -> list[str]:
-    """Attributes of ``self`` assigned by an Assign/AnnAssign statement."""
-    targets: list[ast.expr] = []
-    if isinstance(stmt, ast.Assign):
-        targets = list(stmt.targets)
-    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-        targets = [stmt.target]
-    attrs = []
-    for target in targets:
-        attr = _self_attr(target)
-        if attr is not None:
-            attrs.append(attr)
-    return attrs
-
-
-class _BodyChecker(ast.NodeVisitor):
-    """Walks a method body tracking which locks are lexically held."""
-
-    def __init__(
-        self,
-        rule: "LockDisciplineRule",
-        ctx: FileContext,
-        guards: dict[str, str],
-        aliases: dict[str, str],
-        held: set[str],
-        method: str,
-    ) -> None:
-        self.rule = rule
-        self.ctx = ctx
-        self.guards = guards
-        self.aliases = aliases
-        self.held = held
-        self.method = method
-        self.findings: list[Finding] = []
-
-    def _acquired(self, node: ast.With) -> set[str]:
-        locks: set[str] = set()
-        for item in node.items:
-            attr = _self_attr(item.context_expr)
-            if attr is None:
-                continue
-            if attr in self.aliases:
-                locks.add(self.aliases[attr])
-            elif attr in set(self.guards.values()):
-                locks.add(attr)
-        return locks
-
-    def visit_With(self, node: ast.With) -> None:
-        acquired = self._acquired(node) - self.held
-        self.held |= acquired
-        self.generic_visit(node)
-        self.held -= acquired
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        attr = _self_attr(node)
-        if attr is not None and attr in self.guards:
-            lock = self.guards[attr]
-            if lock not in self.held:
-                self.findings.append(
-                    self.rule.finding(
-                        self.ctx,
-                        node,
-                        f"self.{attr} is declared '# guarded-by: {lock}' but "
-                        f"{self.method}() accesses it without holding "
-                        f"self.{lock}; wrap the access in 'with self.{lock}:' "
-                        f"or annotate the method '# holds-lock: {lock}'",
-                    )
-                )
-        self.generic_visit(node)
 
 
 @register
@@ -125,59 +45,25 @@ class LockDisciplineRule(Rule):
     summary = "guarded attributes only touched while their lock is held"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ClassDef):
-                yield from self._check_class(ctx, node)
-
-    def _collect_annotations(
-        self, ctx: FileContext, cls: ast.ClassDef
-    ) -> tuple[dict[str, str], dict[str, str]]:
-        guards: dict[str, str] = {}
-        aliases: dict[str, str] = {}
-        for node in ast.walk(cls):
-            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+        for flow in iter_class_flows(ctx):
+            guards = flow.model.guards
+            if not guards:
                 continue
-            line = ctx.line_text(node.lineno)
-            guarded = _GUARDED_RE.search(line)
-            alias = _ALIAS_RE.search(line)
-            if guarded is None and alias is None:
-                continue
-            for attr in _assigned_self_attrs(node):
-                if guarded is not None:
-                    guards[attr] = guarded.group(1)
-                if alias is not None:
-                    aliases[attr] = alias.group(1)
-        return guards, aliases
-
-    def _held_on_entry(self, ctx: FileContext, method: ast.FunctionDef) -> set[str]:
-        held: set[str] = set()
-        first_body_line = method.body[0].lineno if method.body else method.lineno
-        for lineno in range(method.lineno, first_body_line + 1):
-            match = _HOLDS_RE.search(ctx.line_text(lineno))
-            if match is not None:
-                held.add(match.group(1))
-        return held
-
-    def _check_class(
-        self, ctx: FileContext, cls: ast.ClassDef
-    ) -> Iterator[Finding]:
-        guards, aliases = self._collect_annotations(ctx, cls)
-        if not guards:
-            return
-        for method in cls.body:
-            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if method.name == "__init__":
-                # Runs before any other thread can see the object.
-                continue
-            checker = _BodyChecker(
-                rule=self,
-                ctx=ctx,
-                guards=guards,
-                aliases=aliases,
-                held=self._held_on_entry(ctx, method),
-                method=method.name,
-            )
-            for stmt in method.body:
-                checker.visit(stmt)
-            yield from checker.findings
+            for method in flow.methods.values():
+                if method.name == "__init__":
+                    # Runs before any other thread can see the object.
+                    continue
+                for access in method.accesses:
+                    lock = guards.get(access.attr)
+                    if lock is None or lock in access.held:
+                        continue
+                    yield self.finding(
+                        ctx,
+                        access.node,
+                        f"self.{access.attr} is declared "
+                        f"'# guarded-by: {lock}' but "
+                        f"{method.name}() accesses it without holding "
+                        f"self.{lock}; wrap the access in "
+                        f"'with self.{lock}:' "
+                        f"or annotate the method '# holds-lock: {lock}'",
+                    )

@@ -155,9 +155,9 @@ class ProcessWorkQueue:
         self._completed: set[int] = set()  # guarded-by: _lock
         self._worker_serial = 0  # guarded-by: _lock
 
-        with self._lock:
-            for _ in range(n_workers):
-                self._workers.append(self._spawn_worker())
+        # No other thread exists yet, so the initial spawn runs unlocked;
+        # forking with the master lock held would stall the first submits.
+        self._workers.extend(self._spawn_worker() for _ in range(n_workers))
         self._supervisor = threading.Thread(
             target=self._supervise, name="process-wq-supervisor", daemon=True
         )
@@ -236,10 +236,17 @@ class ProcessWorkQueue:
     # ------------------------------------------------------------------
     # Supervisor internals
     # ------------------------------------------------------------------
-    def _spawn_worker(self) -> _WorkerHandle:  # holds-lock: _lock
-        """Start one worker process; caller holds the lock and appends."""
-        name = f"proc-worker-{self._worker_serial}"
-        self._worker_serial += 1
+    def _spawn_worker(self) -> _WorkerHandle:
+        """Start one worker process; the caller appends the handle.
+
+        Never called with the master lock held: ``process.start()``
+        blocks on the OS fork/spawn, and ``submit()``/``drain()`` must
+        not stall behind it.  Only the serial counter needs the lock.
+        """
+        with self._lock:
+            serial = self._worker_serial
+            self._worker_serial += 1
+        name = f"proc-worker-{serial}"
         inbox = self._ctx.Queue()
         process = self._ctx.Process(
             target=_worker_main,
@@ -334,25 +341,43 @@ class ProcessWorkQueue:
         )
 
     def _reap_and_dispatch(self) -> bool:
-        """One supervisor pass; returns True when the loop should exit."""
+        """One supervisor pass; returns True when the loop should exit.
+
+        Straggler termination, death detection, and replacement spawning
+        all block on the OS, so they run with the master lock released:
+        the pass snapshots the worker list under the lock, reaps
+        unlocked, then reacquires the lock to requeue lost tasks,
+        install the new worker list, and dispatch.  ``_workers`` is only
+        reassigned on this (supervisor) thread — ``submit``/``shutdown``
+        just read it — so the snapshot cannot lose a concurrent append,
+        and ``worker.current`` is likewise supervisor-private.
+        """
         now = time.monotonic()
         with self._lock:
-            survivors: list[_WorkerHandle] = []
-            replacements: list[_WorkerHandle] = []
-            any_alive = False
-            for worker in list(self._workers):
-                timed_out = (
-                    worker.current is not None
-                    and worker.current.timeout is not None
-                    and now - worker.dispatched_at > worker.current.timeout
-                )
-                if timed_out and worker.process.is_alive():
-                    worker.process.terminate()
-                    worker.process.join(timeout=1.0)
-                if worker.process.is_alive():
-                    survivors.append(worker)
-                    any_alive = True
-                    continue
+            workers = list(self._workers)
+            shutting_down = self._shutdown
+        survivors: list[_WorkerHandle] = []
+        dead: list[tuple[_WorkerHandle, bool]] = []
+        for worker in workers:
+            timed_out = (
+                worker.current is not None
+                and worker.current.timeout is not None
+                and now - worker.dispatched_at > worker.current.timeout
+            )
+            if timed_out and worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                survivors.append(worker)
+            else:
+                dead.append((worker, timed_out))
+        any_alive = bool(survivors)
+        replacements: list[_WorkerHandle] = []
+        if dead and not shutting_down:
+            replacements = [self._spawn_worker() for _ in dead]
+            any_alive = True
+        with self._lock:
+            for worker, timed_out in dead:
                 if worker.current is not None:
                     reason = (
                         f"task exceeded timeout={worker.current.timeout}s"
@@ -361,15 +386,21 @@ class ProcessWorkQueue:
                     )
                     self._fail_or_requeue(worker.current, reason)
                     worker.current = None
-                if not self._shutdown:
-                    replacements.append(self._spawn_worker())
-                    any_alive = True
             self._workers = survivors + replacements
-            if not self._shutdown:
+            shutting_down = self._shutdown
+            if not shutting_down:
                 for worker in self._workers:
                     if worker.current is None and not self._dispatch_one(worker):
                         break
-            return self._shutdown and not any_alive
+        if shutting_down:
+            # Replacements spawned while shutdown() was signalling missed
+            # its poison pills; stop them here so the loop can converge.
+            for worker in replacements:
+                try:
+                    worker.inbox.put(None)
+                except (OSError, ValueError):
+                    continue  # queue already closed; worker is exiting anyway
+        return shutting_down and not any_alive
 
     def _supervise(self) -> None:
         while True:

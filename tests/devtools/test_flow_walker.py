@@ -1,0 +1,181 @@
+"""Unit tests for the lockset/flow walker behind SSTD003/007/008."""
+
+import ast
+
+from repro.devtools.lint.engine import FileContext
+from repro.devtools.lint.flow import (
+    AttrInfo,
+    analyze_class,
+    classify_value,
+    is_mutable_container,
+)
+
+
+def flow_of(source: str):
+    ctx = FileContext.from_source(source, path="flowcase.py")
+    cls = next(
+        node for node in ast.walk(ctx.tree) if isinstance(node, ast.ClassDef)
+    )
+    return analyze_class(ctx, cls)
+
+
+def value_of(expr: str) -> ast.expr:
+    return ast.parse(expr, mode="eval").body
+
+
+class TestClassifyValue:
+    def test_lock_ctor(self):
+        assert classify_value(value_of("threading.Lock()")) == AttrInfo("lock")
+
+    def test_bounded_and_unbounded_queue(self):
+        assert classify_value(value_of("queue.Queue(8)")).bounded is True
+        assert classify_value(value_of("queue.Queue()")).bounded is False
+        assert classify_value(value_of("queue.Queue(maxsize=0)")).bounded is False
+
+    def test_daemon_thread(self):
+        info = classify_value(value_of("threading.Thread(target=f, daemon=True)"))
+        assert info == AttrInfo("thread", daemon=True)
+
+    def test_container_of_threads(self):
+        info = classify_value(
+            value_of("[threading.Thread(target=f) for _ in range(3)]")
+        )
+        assert info.kind == "thread" and info.container is True
+
+    def test_mutable_container_predicate(self):
+        assert is_mutable_container(value_of("[]"))
+        assert is_mutable_container(value_of("collections.deque()"))
+        assert not is_mutable_container(value_of("0"))
+        assert not is_mutable_container(value_of("(1, 2)"))
+
+
+MODEL_SRC = '''
+import threading
+import queue
+
+class Q:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []  # guarded-by: _lock
+        self._done = 0  # guarded-by: _lock
+        self._cond = threading.Condition(self._lock)  # lock-alias: _lock
+        self._inbox = queue.Queue(4)
+'''
+
+
+class TestClassAttrModel:
+    def test_guards_aliases_types_and_mutability(self):
+        model = flow_of(MODEL_SRC).model
+        assert model.guards == {"_pending": "_lock", "_done": "_lock"}
+        assert model.aliases == {"_cond": "_lock"}
+        assert model.attrs["_lock"].kind == "lock"
+        assert model.attrs["_inbox"] == AttrInfo("queue", bounded=True)
+        assert model.mutable == {"_pending"}
+
+    def test_lock_for_attr_canonicalizes_aliases(self):
+        model = flow_of(MODEL_SRC).model
+        assert model.lock_for_attr("_lock") == "_lock"
+        assert model.lock_for_attr("_cond") == "_lock"
+        assert model.lock_for_attr("_pending") is None
+
+
+WALKER_SRC = '''
+import threading
+
+class W:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def direct(self):
+        with self._lock:
+            self._items.append(1)
+
+    def via_local_alias(self):
+        lock = self._lock
+        with lock:
+            self._items.append(2)
+
+    def branch_joined(self, flag):
+        if flag:
+            self._lock.acquire()
+        self._items.append(3)
+
+    def acquire_release(self):
+        self._lock.acquire()
+        self._items.append(4)
+        self._lock.release()
+        self._items.append(5)
+
+    def annotated(self):  # holds-lock: _lock
+        self._items.append(6)
+'''
+
+
+def accesses_of(flow, method):
+    return [
+        a for a in flow.methods[method].accesses if a.attr == "_items"
+    ]
+
+
+class TestLocksetPropagation:
+    def test_with_block_holds_lock(self):
+        flow = flow_of(WALKER_SRC)
+        assert all("_lock" in a.held for a in accesses_of(flow, "direct"))
+
+    def test_local_alias_counts_as_the_lock(self):
+        flow = flow_of(WALKER_SRC)
+        assert all(
+            "_lock" in a.held for a in accesses_of(flow, "via_local_alias")
+        )
+
+    def test_if_branches_join_by_intersection(self):
+        # Only one arm acquires, so after the If the lock is NOT held.
+        flow = flow_of(WALKER_SRC)
+        assert all(
+            "_lock" not in a.held for a in accesses_of(flow, "branch_joined")
+        )
+
+    def test_acquire_release_statement_effects(self):
+        flow = flow_of(WALKER_SRC)
+        held = [("_lock" in a.held) for a in accesses_of(flow, "acquire_release")]
+        assert held == [True, False]
+
+    def test_holds_lock_annotation_seeds_entry_lockset(self):
+        flow = flow_of(WALKER_SRC)
+        assert flow.requires("annotated") == frozenset({"_lock"})
+        assert all("_lock" in a.held for a in accesses_of(flow, "annotated"))
+
+
+ESCAPE_SRC = '''
+import threading
+
+class E:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+
+    def leaks_container(self):
+        with self._lock:
+            items = self._items
+        for item in items:
+            print(item)
+
+    def snapshots_scalar(self):
+        with self._lock:
+            count = self._count
+        return count
+'''
+
+
+class TestEscapeTracking:
+    def test_mutable_capture_used_after_release_escapes(self):
+        flow = flow_of(ESCAPE_SRC)
+        escapes = flow.methods["leaks_container"].escapes
+        assert [e.attr for e in escapes] == ["_items"]
+        assert escapes[0].via == "items"
+
+    def test_immutable_snapshot_is_sanctioned(self):
+        flow = flow_of(ESCAPE_SRC)
+        assert flow.methods["snapshots_scalar"].escapes == []

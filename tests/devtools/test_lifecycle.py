@@ -1,0 +1,141 @@
+"""SSTD010: every thread/process joined, daemonized, or handed off."""
+
+from repro.devtools.lint import all_rules, lint_source
+
+RULES = all_rules(["SSTD010"])
+
+
+def findings(src: str):
+    return lint_source(src, path="case.py", rules=RULES)
+
+
+class TestLeaks:
+    def test_inline_start_flagged(self):
+        src = '''
+import threading
+
+def go():
+    threading.Thread(target=print).start()
+'''
+        result = findings(src)
+        assert len(result) == 1
+        assert "started inline" in result[0].message
+
+    def test_started_but_never_joined_flagged(self):
+        src = '''
+import threading
+
+def go():
+    t = threading.Thread(target=print)
+    t.start()
+'''
+        result = findings(src)
+        assert len(result) == 1
+        assert "'t'" in result[0].message
+
+    def test_process_leak_flagged_too(self):
+        src = '''
+import multiprocessing
+
+def go():
+    p = multiprocessing.Process(target=print)
+    p.start()
+'''
+        result = findings(src)
+        assert len(result) == 1
+        assert "process" in result[0].message
+
+
+class TestSanctionedLifecycles:
+    def test_joined_thread_passes(self):
+        src = '''
+import threading
+
+def go():
+    t = threading.Thread(target=print)
+    t.start()
+    t.join()
+'''
+        assert findings(src) == []
+
+    def test_daemon_ctor_passes(self):
+        src = '''
+import threading
+
+def go():
+    t = threading.Thread(target=print, daemon=True)
+    t.start()
+'''
+        assert findings(src) == []
+
+    def test_daemon_attribute_passes(self):
+        src = '''
+import threading
+
+def go():
+    t = threading.Thread(target=print)
+    t.daemon = True
+    t.start()
+'''
+        assert findings(src) == []
+
+    def test_self_attr_joined_elsewhere_passes(self):
+        src = '''
+import threading
+
+class S:
+    def start(self):
+        self._supervisor = threading.Thread(target=self._run)
+        self._supervisor.start()
+
+    def stop(self):
+        self._supervisor.join()
+
+    def _run(self):
+        pass
+'''
+        assert findings(src) == []
+
+    def test_loop_join_covers_iterated_container(self):
+        src = '''
+import threading
+
+class S:
+    def stop(self):
+        self._extra = threading.Thread(target=print)
+        self._extra.start()
+        for t in self._extra_threads:
+            t.join()
+'''
+        # self._extra is never joined: the loop joins _extra_threads,
+        # not _extra — still flagged.
+        assert len(findings(src)) == 1
+
+    def test_handed_off_to_callee_passes(self):
+        src = '''
+import threading
+
+def go(pool):
+    pool.register(threading.Thread(target=print))
+'''
+        assert findings(src) == []
+
+    def test_returned_worker_passes(self):
+        src = '''
+import threading
+
+def make():
+    t = threading.Thread(target=print)
+    t.start()
+    return t
+'''
+        assert findings(src) == []
+
+    def test_noqa_suppresses(self):
+        src = '''
+import threading
+
+def go():
+    threading.Thread(target=print).start()  # noqa: SSTD010
+'''
+        assert findings(src) == []

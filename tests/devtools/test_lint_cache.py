@@ -1,0 +1,106 @@
+"""Content-hash lint cache: pure speed-up, never a behavior change."""
+
+import json
+
+from repro.devtools.lint.cache import LintCache
+from repro.devtools.lint.cli import main as lint_main
+from repro.devtools.lint.engine import all_rules
+
+DIRTY = """\
+__all__ = []
+
+def f():
+    try:
+        pass
+    except:
+        pass
+"""
+
+RULE_IDS = tuple(sorted(r.rule_id for r in all_rules()))
+
+
+class TestLintCacheUnit:
+    def test_roundtrip_hit_after_put(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        cache = LintCache(tmp_path / "cache")
+        assert cache.get(target, RULE_IDS, None) is None
+        from repro.devtools.lint.engine import lint_file
+
+        found = lint_file(target)
+        cache.put(target, RULE_IDS, None, found)
+        assert cache.get(target, RULE_IDS, None) == found
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_content_change_invalidates(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        cache = LintCache(tmp_path / "cache")
+        cache.put(target, RULE_IDS, None, [])
+        target.write_text(DIRTY + "\n# trailing edit\n")
+        assert cache.get(target, RULE_IDS, None) is None
+
+    def test_rule_selection_is_part_of_the_key(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        cache = LintCache(tmp_path / "cache")
+        cache.put(target, RULE_IDS, None, [])
+        assert cache.get(target, ("SSTD001",), None) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        cache = LintCache(tmp_path / "cache")
+        cache.put(target, RULE_IDS, None, [])
+        for entry in (tmp_path / "cache").iterdir():
+            entry.write_text("{not json")
+        assert cache.get(target, RULE_IDS, None) is None
+
+
+class TestCliCacheBehavior:
+    def test_cached_rerun_reports_identical_findings(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        cache_dir = tmp_path / "cache"
+        args = ["--cache-dir", str(cache_dir), str(target)]
+        assert lint_main(args) == 1
+        first = capsys.readouterr().out
+        assert any(cache_dir.iterdir())
+        assert lint_main(args) == 1
+        assert capsys.readouterr().out == first
+
+    def test_no_cache_flag_leaves_no_cache_dir(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        cache_dir = tmp_path / "cache"
+        assert (
+            lint_main(
+                ["--no-cache", "--cache-dir", str(cache_dir), str(target)]
+            )
+            == 1
+        )
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+    def test_json_report_written_alongside_any_format(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        report = tmp_path / "lint.json"
+        assert (
+            lint_main(
+                [
+                    "--no-cache",
+                    "--format",
+                    "github",
+                    "--json-report",
+                    str(report),
+                    str(target),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        payload = json.loads(report.read_text())
+        assert payload["total"] == 1
+        assert payload["by_rule"] == {"SSTD001": 1}

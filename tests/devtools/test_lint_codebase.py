@@ -8,6 +8,7 @@ pass meaningful) fails the suite, exactly like CI's dedicated lint job.
 from pathlib import Path
 
 from repro.devtools.lint import all_rules, lint_paths
+from repro.devtools.lint.cli import main as lint_main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 PACKAGE = REPO_ROOT / "src" / "repro"
@@ -23,13 +24,15 @@ def test_full_lint_pass_is_clean():
     assert findings == [], f"lint findings in src/repro:\n{formatted}"
 
 
+def test_cli_gate_exits_zero(capsys):
+    # Exactly what CI runs: `python -m repro.devtools.lint src/repro`
+    # (cache bypassed so a stale entry can never green a dirty tree).
+    assert lint_main(["--no-cache", str(PACKAGE)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
 def test_every_registered_rule_ran():
     # A clean run must not be clean because rules failed to register.
     assert {r.rule_id for r in all_rules()} >= {
-        "SSTD001",
-        "SSTD002",
-        "SSTD003",
-        "SSTD004",
-        "SSTD005",
-        "SSTD006",
+        f"SSTD{i:03d}" for i in range(1, 11)
     }

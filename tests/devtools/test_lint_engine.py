@@ -7,8 +7,12 @@ import pytest
 
 from repro.devtools.lint import RULE_REGISTRY, all_rules, lint_source
 from repro.devtools.lint.cli import main as lint_main
-from repro.devtools.lint.engine import module_name_for
-from repro.devtools.lint.reporters import render_json, render_text
+from repro.devtools.lint.engine import Finding, module_name_for
+from repro.devtools.lint.reporters import (
+    render_github,
+    render_json,
+    render_text,
+)
 
 BARE_EXCEPT = """\
 __all__ = []
@@ -22,8 +26,8 @@ def f():
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
-        expected = {f"SSTD00{i}" for i in range(1, 7)}
+    def test_all_ten_rules_registered(self):
+        expected = {f"SSTD{i:03d}" for i in range(1, 11)}
         assert expected <= set(RULE_REGISTRY)
 
     def test_select_unknown_rule_raises(self):
@@ -49,8 +53,13 @@ class TestSuppression:
         assert lint_source(src, path="x.py") == []
 
     def test_noqa_for_other_rule_does_not_suppress(self):
+        # The SSTD001 finding survives, and the SSTD002 suppression —
+        # silencing nothing — is itself reported stale by the audit.
         src = BARE_EXCEPT.replace("except:", "except:  # noqa: SSTD002")
-        assert [f.rule_id for f in lint_source(src, path="x.py")] == ["SSTD001"]
+        assert [f.rule_id for f in lint_source(src, path="x.py")] == [
+            "SSTD001",
+            "SSTD000",
+        ]
 
 
 class TestModuleNames:
@@ -83,6 +92,32 @@ class TestReporters:
         assert payload["by_rule"] == {"SSTD001": 1}
         assert payload["findings"][0]["rule"] == "SSTD001"
         assert payload["findings"][0]["line"] == 6
+
+
+class TestGithubReporter:
+    def test_error_annotation_per_finding(self):
+        findings = lint_source(BARE_EXCEPT, path="x.py")
+        report = render_github(findings, n_files=1)
+        assert "::error file=x.py,line=6,col=5,title=SSTD001 lint::" in report
+        assert report.endswith("::notice title=SSTD lint::1 finding(s) in 1 file(s)")
+
+    def test_clean_run_emits_only_the_notice(self):
+        report = render_github([], n_files=3)
+        assert report == "::notice title=SSTD lint::clean: 0 findings in 3 file(s)"
+
+    def test_workflow_command_characters_are_escaped(self):
+        finding = Finding(
+            rule_id="SSTD001",
+            message="first\nsecond % line",
+            path="dir,with:odd.py",
+            line=1,
+            col=0,
+        )
+        report = render_github([finding], n_files=1)
+        annotation = report.splitlines()[0]
+        assert "file=dir%2Cwith%3Aodd.py" in annotation
+        assert "first%0Asecond %25 line" in annotation
+        assert "\n" not in annotation
 
 
 class TestCli:
@@ -125,3 +160,11 @@ class TestCli:
         bad.write_text("def broken(:\n")
         assert lint_main([str(bad)]) == 1
         assert "SSTD000" in capsys.readouterr().out
+
+    def test_no_stale_noqa_flag_disables_the_audit(self, tmp_path, capsys):
+        stale = tmp_path / "stale.py"
+        stale.write_text('__all__ = ["x"]\nx = 1  # noqa: SSTD003\n')
+        assert lint_main(["--no-cache", str(stale)]) == 1
+        assert "SSTD000" in capsys.readouterr().out
+        assert lint_main(["--no-cache", "--no-stale-noqa", str(stale)]) == 0
+        assert "clean" in capsys.readouterr().out

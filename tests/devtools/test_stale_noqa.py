@@ -1,0 +1,68 @@
+"""SSTD000 stale-suppression audit: noqa comments must earn their keep."""
+
+from repro.devtools.lint import all_rules, lint_source
+
+CLEAN = '__all__ = ["x"]\n\nx = 1{comment}\n'
+
+
+def rule_ids(src: str, **kwargs):
+    return [f.rule_id for f in lint_source(src, path="x.py", **kwargs)]
+
+
+class TestStaleDetection:
+    def test_coded_noqa_that_silences_nothing_is_stale(self):
+        findings = lint_source(
+            CLEAN.format(comment="  # noqa: SSTD003"), path="x.py"
+        )
+        assert [f.rule_id for f in findings] == ["SSTD000"]
+        assert "SSTD003" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_bare_noqa_that_silences_nothing_is_stale(self):
+        assert rule_ids(CLEAN.format(comment="  # noqa")) == ["SSTD000"]
+
+    def test_live_suppression_is_not_stale(self):
+        src = '__all__ = []\n\ntry:\n    pass\nexcept:  # noqa: SSTD001\n    pass\n'
+        assert rule_ids(src) == []
+
+    def test_live_bare_noqa_is_not_stale(self):
+        src = '__all__ = []\n\ntry:\n    pass\nexcept:  # noqa\n    pass\n'
+        assert rule_ids(src) == []
+
+
+class TestNonComments:
+    def test_noqa_in_docstring_is_ignored(self):
+        src = '"""Docs may say # noqa: SSTD001 freely."""\n__all__ = ["x"]\nx = 1\n'
+        assert rule_ids(src) == []
+
+    def test_noqa_in_string_literal_is_ignored(self):
+        src = '__all__ = ["x"]\nx = "# noqa: SSTD001"\n'
+        assert rule_ids(src) == []
+
+
+class TestScope:
+    def test_foreign_codes_are_not_judged(self):
+        assert rule_ids(CLEAN.format(comment="  # noqa: F401")) == []
+
+    def test_mixed_codes_judged_by_sstd_part(self):
+        # SSTD003 silences nothing here, so the suppression is stale even
+        # though the F401 half belongs to another tool.
+        assert rule_ids(CLEAN.format(comment="  # noqa: SSTD003,F401")) == [
+            "SSTD000"
+        ]
+
+    def test_partial_select_run_skips_the_audit(self):
+        # A --select run cannot tell stale from not-selected.
+        assert (
+            rule_ids(
+                CLEAN.format(comment="  # noqa: SSTD003"),
+                rules=all_rules(["SSTD003"]),
+            )
+            == []
+        )
+
+    def test_stale_finding_is_not_suppressible(self):
+        # A suppression cannot vouch for itself.
+        assert rule_ids(CLEAN.format(comment="  # noqa: SSTD000")) == [
+            "SSTD000"
+        ]
