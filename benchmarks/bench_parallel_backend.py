@@ -28,6 +28,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.obs import write_chrome_trace
 from repro.streams.events import PopulationConfig, ScenarioSpec
 from repro.streams.generator import GeneratorConfig, generate_trace
 from repro.system.sstd_system import DistributedSSTD, SSTDSystemConfig
@@ -38,6 +39,9 @@ WORKER_COUNTS = (1, 2, 4)
 REAL_BACKENDS = ("threads", "processes")
 N_CLAIMS = 32
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+BENCH_TRACE = (
+    Path(__file__).resolve().parent.parent / "BENCH_parallel_trace.json"
+)
 
 
 def _bench_trace():
@@ -76,6 +80,47 @@ def _measure(reports, backend: str, workers: int) -> dict:
     }
 
 
+def _traced_run(reports, workers: int) -> dict:
+    """One extra *traced* process-backend run, outside the timing loop.
+
+    The throughput table above measures the disabled-path overhead (the
+    perf-smoke gate compares it against the committed baseline); this run
+    turns observability on to break the makespan into per-phase span
+    timings and to export the Chrome trace CI uploads as an artifact.
+    """
+    system = DistributedSSTD(
+        SSTDSystemConfig(
+            n_workers=workers,
+            backend="processes",
+            control_enabled=False,
+            observability=True,
+        )
+    )
+    outcome = system.run_batch(reports)
+    events = system.obs.tracer.events()
+    task_durations = [
+        e.duration for e in events if e.name == "wq.task" and e.kind == "span"
+    ]
+    phases: dict[str, float] = {"makespan_s": round(outcome.makespan, 4)}
+    for name in ("system.submit", "system.run_batch"):
+        spans = [e for e in events if e.name == name and e.kind == "span"]
+        if spans:
+            phases[name + "_s"] = round(sum(e.duration for e in spans), 4)
+    if task_durations:
+        phases["wq.task_total_s"] = round(sum(task_durations), 4)
+        phases["wq.task_mean_s"] = round(
+            sum(task_durations) / len(task_durations), 4
+        )
+        phases["wq.task_count"] = len(task_durations)
+    write_chrome_trace(
+        events,
+        BENCH_TRACE,
+        metrics=system.obs.metrics.snapshot(),
+        clock_kind=system.obs.clock.kind,
+    )
+    return phases
+
+
 def test_parallel_backend_throughput():
     trace = _bench_trace()
     reports = list(trace.reports)
@@ -97,6 +142,7 @@ def test_parallel_backend_throughput():
         table["processes"][max_workers]["throughput_rps"]
         / table["threads"][max_workers]["throughput_rps"]
     )
+    phases = _traced_run(reports, max_workers)
     payload = {
         "schema": 1,
         "benchmark": "parallel_backend",
@@ -117,6 +163,7 @@ def test_parallel_backend_throughput():
             for backend, per_backend in table.items()
         },
         "process_over_thread_speedup_at_max_workers": round(speedup, 4),
+        "phases": phases,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 

@@ -10,6 +10,9 @@ Subcommands mirror the workflows of the examples and benchmarks:
 - ``repro-cli stats`` — print a trace's Table-II-style statistics;
 - ``repro-cli replay`` — stream a trace through the streaming engine at
   a chosen rate and report flips as they are detected;
+- ``repro-cli trace`` — run a traced batch of the distributed system
+  over a trace file and export a Perfetto-loadable Chrome trace (see
+  :mod:`repro.obs`);
 - ``repro-cli lint`` — run the project's SSTD static-analysis rules
   (see :mod:`repro.devtools.lint`); exits non-zero on findings.
 
@@ -222,6 +225,78 @@ def _run_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "trace",
+        help="run a traced distributed batch and export a Chrome trace",
+        description=(
+            "Runs DistributedSSTD.run_batch with observability on and "
+            "writes the spans as a Chrome trace-event file.  Open the "
+            "output at https://ui.perfetto.dev (or chrome://tracing): "
+            "one track per worker/job plus master, control, and system "
+            "tracks."
+        ),
+    )
+    parser.add_argument("trace", type=Path, help="trace .jsonl path")
+    parser.add_argument("output", type=Path,
+                        help="Chrome trace-event output (.json)")
+    parser.add_argument("--backend", default="simulated",
+                        help="execution backend (default: simulated)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jsonl", type=Path, default=None,
+                        help="additionally dump raw span events as JSONL")
+    parser.set_defaults(func=_run_trace)
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.obs import write_chrome_trace, write_jsonl
+    from repro.system.sstd_system import (
+        BACKENDS,
+        DistributedSSTD,
+        SSTDSystemConfig,
+    )
+
+    if args.backend not in BACKENDS:
+        print(f"backend must be one of {BACKENDS}", file=sys.stderr)
+        return 1
+    trace = Trace.load(args.trace)
+    if not trace.reports:
+        print("trace has no reports", file=sys.stderr)
+        return 1
+    system = DistributedSSTD(
+        SSTDSystemConfig(
+            backend=args.backend,
+            n_workers=args.workers,
+            seed=args.seed,
+            observability=True,
+        )
+    )
+    result = system.run_batch(trace.reports)
+    events = system.obs.tracer.events()
+    snapshot = system.obs.metrics.snapshot()
+    write_chrome_trace(
+        events,
+        args.output,
+        metrics=snapshot,
+        clock_kind=system.obs.clock.kind,
+    )
+    if args.jsonl is not None:
+        count = write_jsonl(events, args.jsonl)
+        print(f"wrote {count} span events to {args.jsonl}")
+    dropped = system.obs.tracer.dropped
+    print(
+        f"{args.backend}: {result.n_jobs} jobs / {result.n_tasks} tasks, "
+        f"makespan {result.makespan:.3f}s ({system.obs.clock.kind} clock)"
+    )
+    print(
+        f"wrote {len(events)} events to {args.output}"
+        + (f" ({dropped} dropped by the ring buffer)" if dropped else "")
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _add_lint(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser(
         "lint",
@@ -232,7 +307,8 @@ def _add_lint(subparsers: argparse._SubParsersAction) -> None:
             "randomness, SSTD005 probability-safe log/exp, SSTD006 "
             "__all__ declarations, SSTD007 guarded-state escapes, "
             "SSTD008 blocking under a lock, SSTD009 payload "
-            "picklability, SSTD010 thread/process lifecycle. Suppress a "
+            "picklability, SSTD010 thread/process lifecycle, SSTD011 "
+            "clock reads via the repro.obs Clock protocol. Suppress a "
             "finding with a trailing '# noqa: SSTD###' comment; stale "
             "suppressions are flagged as SSTD000."
         ),
@@ -285,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate(subparsers)
     _add_stats(subparsers)
     _add_replay(subparsers)
+    _add_trace(subparsers)
     _add_lint(subparsers)
     return parser
 

@@ -16,11 +16,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import Observability
+
 __all__ = [
     "PAPER_GAINS",
+    "PID_BUCKETS",
     "PIDController",
     "PIDGains",
 ]
+
+#: Histogram bounds for controller error/output samples.  Symmetric
+#: around zero: the sign of (deadline - projection) is the signal.
+PID_BUCKETS = (-60.0, -10.0, -1.0, 0.0, 1.0, 10.0, 60.0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +56,11 @@ class PIDController:
             samples at 1 Hz).
         integral_limit: Clamp on |integral| (anti-windup); 0 disables.
         output_limit: Clamp on |output|; 0 disables.
+        obs: Tracing/metrics recorder; each update samples the error
+            and output into ``pid.error`` / ``pid.output`` histograms.
+            Defaults to a disabled recorder (standalone use).
+        name: Label distinguishing this controller's trace events (the
+            DTM runs one controller per job).
     """
 
     def __init__(
@@ -57,6 +69,8 @@ class PIDController:
         sample_time: float = 1.0,
         integral_limit: float = 100.0,
         output_limit: float = 0.0,
+        obs: Observability | None = None,
+        name: str = "pid",
     ) -> None:
         if sample_time <= 0:
             raise ValueError("sample_time must be > 0")
@@ -66,6 +80,8 @@ class PIDController:
         self.sample_time = sample_time
         self.integral_limit = integral_limit
         self.output_limit = output_limit
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.name = name
         self.reset()
 
     def reset(self) -> None:
@@ -106,6 +122,16 @@ class PIDController:
         if self.output_limit:
             output = min(max(output, -self.output_limit), self.output_limit)
         self.last_output = output
+        if self.obs.enabled:
+            self.obs.metrics.observe("pid.error", error, bounds=PID_BUCKETS)
+            self.obs.metrics.observe("pid.output", output, bounds=PID_BUCKETS)
+            self.obs.tracer.instant(
+                "pid.update",
+                track="control",
+                controller=self.name,
+                error=round(error, 6),
+                output=round(output, 6),
+            )
         return output
 
     @property

@@ -36,6 +36,7 @@ from repro.core.acs import ACSConfig, SlidingWindowACS, acs_sequence
 from repro.core.types import Report, TruthEstimate, TruthValue
 from repro.devtools import contracts
 from repro.hmm.gaussian import GaussianHMM
+from repro.obs import get_obs
 
 __all__ = [
     "ClaimDecodeResult",
@@ -175,11 +176,15 @@ class ClaimTruthModel:
             informative.size < self.config.min_observations
             or float(np.ptp(informative)) < 1e-9
         )
+        obs = get_obs()
         if degenerate:
+            if obs.enabled:
+                obs.metrics.inc("sstd.claims_fallback")
             return _sign_fallback(self.claim_id, times, acs_values)
 
+        fit_start = obs.clock.now()
         hmm = self._build_hmm()
-        hmm.fit(
+        fit_result = hmm.fit(
             acs_values,
             max_iter=self.config.em_max_iter,
             tol=self.config.em_tol,
@@ -206,6 +211,18 @@ class ClaimTruthModel:
             )
             for k, (t, v) in enumerate(zip(times, values))
         )
+        if obs.enabled:
+            obs.metrics.inc("sstd.claims_hmm")
+            obs.tracer.record_span(
+                "sstd.fit_decode",
+                start=fit_start,
+                end=obs.clock.now(),
+                track="sstd",
+                claim_id=self.claim_id,
+                n_observations=int(times.size),
+                iterations=fit_result.iterations,
+                reason=fit_result.convergence_reason,
+            )
         return ClaimDecodeResult(
             claim_id=self.claim_id,
             times=times,

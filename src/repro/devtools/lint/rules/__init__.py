@@ -11,7 +11,10 @@ Importing this package registers every rule with the engine registry:
 - ``SSTD007`` — guarded state must not escape its lock scope;
 - ``SSTD008`` — no blocking calls while holding a lock;
 - ``SSTD009`` — process-queue payloads statically picklable;
-- ``SSTD010`` — threads/processes joined, daemonized, or handed off.
+- ``SSTD010`` — threads/processes joined, daemonized, or handed off;
+- ``SSTD011`` — runtime packages read time through the ``repro.obs``
+  ``Clock`` protocol, never ``time.time()``/``monotonic()``/
+  ``perf_counter()`` directly.
 
 (``SSTD000`` is reserved for engine-level diagnostics — syntax errors
 and stale ``noqa`` suppressions — and is emitted by the engine itself,
@@ -33,10 +36,12 @@ from repro.devtools.lint.rules.lifecycle import ThreadLifecycleRule
 from repro.devtools.lint.rules.locks import LockDisciplineRule
 from repro.devtools.lint.rules.numerics import RawLogExpRule
 from repro.devtools.lint.rules.picklability import PicklabilityRule
+from repro.devtools.lint.rules.timing import DirectClockReadRule
 
 __all__ = [
     "BlockingUnderLockRule",
     "BroadExceptRule",
+    "DirectClockReadRule",
     "GuardedEscapeRule",
     "LockDisciplineRule",
     "MissingAllRule",

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.devtools import contracts
+from repro.obs import get_obs
 from repro.hmm.utils import (
     PROB_FLOOR,
     log_mask_zero,
@@ -32,7 +33,11 @@ from repro.hmm.utils import (
     validate_stochastic_matrix,
 )
 
-__all__ = ["BaseHMM", "FitResult"]
+__all__ = ["BaseHMM", "FitResult", "ITERATION_BUCKETS"]
+
+#: Histogram bounds for Baum-Welch iteration counts (EM converges in a
+#: handful of iterations on clean data, tens on hard sequences).
+ITERATION_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,6 +51,38 @@ class FitResult:
     @property
     def final_log_likelihood(self) -> float:
         return self.log_likelihoods[-1]
+
+    @property
+    def convergence_reason(self) -> str:
+        """``"tol"`` (log-likelihood plateaued) or ``"max_iter"``."""
+        return "tol" if self.converged else "max_iter"
+
+
+def _record_fit(result: FitResult) -> None:
+    """Report one Baum-Welch run to the ambient recorder (if enabled)."""
+    obs = get_obs()
+    if not obs.enabled:
+        return
+    obs.metrics.inc("hmm.fits")
+    obs.metrics.inc(
+        "hmm.converged" if result.converged else "hmm.hit_max_iter"
+    )
+    obs.metrics.observe(
+        "hmm.bw.iterations",
+        float(result.iterations),
+        bounds=ITERATION_BUCKETS,
+    )
+    obs.tracer.instant(
+        "hmm.fit",
+        track="hmm",
+        iterations=result.iterations,
+        reason=result.convergence_reason,
+        log_likelihood=(
+            round(result.final_log_likelihood, 6)
+            if result.log_likelihoods
+            else 0.0
+        ),
+    )
 
 
 class BaseHMM(abc.ABC):
@@ -277,11 +314,13 @@ class BaseHMM(abc.ABC):
                 converged = True
                 break
         self._check_chain_contracts("Baum-Welch M-step")
-        return FitResult(
+        result = FitResult(
             log_likelihoods=tuple(history),
             converged=converged,
             iterations=len(history),
         )
+        _record_fit(result)
+        return result
 
     def fit_sequences(
         self,
@@ -343,11 +382,13 @@ class BaseHMM(abc.ABC):
                 converged = True
                 break
         self._check_chain_contracts("Baum-Welch M-step")
-        return FitResult(
+        result = FitResult(
             log_likelihoods=tuple(history),
             converged=converged,
             iterations=len(history),
         )
+        _record_fit(result)
+        return result
 
     def sample(
         self, length: int, rng: np.random.Generator | int | None = None

@@ -1,0 +1,61 @@
+"""``repro.obs`` — unified tracing + metrics for the SSTD system.
+
+The paper's feedback controller exists because the system observes
+itself (Section IV-C: execution times monitored at 1 Hz steer
+priorities and pool size).  This package is that measurement channel as
+a first-class, dependency-free substrate:
+
+- :mod:`repro.obs.clock` — one ``Clock`` protocol over virtual
+  (simulation) and wall time, enforced by lint rule SSTD011;
+- :mod:`repro.obs.spans` — ring-buffered span tracer (nested timed
+  spans + instant markers, one track per worker/job);
+- :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms
+  with picklable snapshots for cross-process merge;
+- :mod:`repro.obs.export` — JSONL and Perfetto-loadable Chrome
+  trace-event exporters;
+- :mod:`repro.obs.runtime` — the :class:`Observability` facade and the
+  ambient recorder used by deep engine code.
+
+Enable via ``SSTDSystemConfig(observability=True)``, ``REPRO_TRACE=1``,
+or ``repro-cli trace``.
+"""
+
+from repro.obs.clock import Clock, ManualClock, VirtualClock, WallClock
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramSnapshot,
+    MetricRegistry,
+    MetricsSnapshot,
+    percentile,
+)
+from repro.obs.runtime import Observability, env_enabled, get_obs, set_obs, using
+from repro.obs.spans import SpanEvent, SpanTracer
+
+__all__ = [
+    "Clock",
+    "DEFAULT_BUCKETS",
+    "HistogramSnapshot",
+    "ManualClock",
+    "MetricRegistry",
+    "MetricsSnapshot",
+    "Observability",
+    "SpanEvent",
+    "SpanTracer",
+    "VirtualClock",
+    "WallClock",
+    "chrome_trace",
+    "env_enabled",
+    "get_obs",
+    "jsonl_lines",
+    "percentile",
+    "set_obs",
+    "using",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,92 @@
+"""The one clock abstraction of the observability layer.
+
+Every timestamp in a trace or metric sample flows through a
+:class:`Clock`, so the same instrumentation code runs against the
+discrete-event simulation's *virtual* clock and against real *wall*
+time.  This is what lets :class:`repro.workqueue.master.WorkQueueMaster`
+(simulated) and :class:`repro.workqueue.process.ProcessWorkQueue` (real
+processes) emit identical event schemas — only the clock differs.
+
+Lint rule SSTD011 enforces the flip side: runtime packages
+(``repro.workqueue``, ``repro.system``, ``repro.cluster``) never call
+``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()``
+directly; they read a ``Clock`` instead.  That keeps timing mockable in
+tests and keeps virtual-time code from accidentally mixing clock
+domains.
+
+Clock values are *monotonic seconds from an arbitrary epoch* — good for
+durations and ordering, not calendar time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "VirtualClock",
+    "WallClock",
+]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Monotonic time source; ``kind`` names the clock domain."""
+
+    kind: str
+
+    def now(self) -> float:
+        """Current time in seconds from an arbitrary, fixed epoch."""
+        ...
+
+
+class WallClock:
+    """Real elapsed time (``time.perf_counter``: monotonic, high-res)."""
+
+    kind = "wall"
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class VirtualClock:
+    """Reads virtual time off any object exposing a ``now`` attribute.
+
+    Duck-typed on purpose: :class:`repro.cluster.simulation.Simulator`
+    keeps its clock in a plain ``now`` float, and ``repro.obs`` stays
+    dependency-free by not importing it.
+    """
+
+    kind = "virtual"
+
+    def __init__(self, source: object) -> None:
+        if not hasattr(source, "now"):
+            raise TypeError(
+                f"{type(source).__name__} has no 'now' attribute to read "
+                "virtual time from"
+            )
+        self._source = source
+
+    def now(self) -> float:
+        return float(self._source.now)  # type: ignore[attr-defined]
+
+
+class ManualClock:
+    """A clock tests advance by hand; starts at ``start``."""
+
+    kind = "manual"
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now_value = float(start)
+
+    def now(self) -> float:
+        return self.now_value
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds; returns the new time."""
+        if delta < 0:
+            raise ValueError("clocks only move forward; delta must be >= 0")
+        self.now_value += delta
+        return self.now_value

@@ -1,0 +1,132 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+Two output shapes for the same :class:`repro.obs.spans.SpanEvent` list:
+
+- **JSONL** — one event per line, schema-stable, easy to grep and to
+  post-process with pandas/jq;
+- **Chrome trace-event JSON** — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``: one timeline track
+  per event ``track`` (workers, jobs, master, control plane), complete
+  (``ph: "X"``) events for spans, instant (``ph: "i"``) events for
+  markers, and the registry's metrics embedded under ``otherData`` so a
+  single file carries the whole run.
+
+Determinism: events are ordered by global sequence number and track ids
+are assigned in sorted track-name order, so the same run produces a
+byte-identical export — which is what the golden-file test pins down.
+Timestamps are converted from clock seconds to integer microseconds
+(the trace-event unit); on the virtual clock these are exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.spans import SpanEvent
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+_PID = 1  # single logical process; tracks are "threads" in the viewer
+
+
+def jsonl_lines(events: Iterable[SpanEvent]) -> Iterator[str]:
+    """One compact JSON object per event, in recording order."""
+    for event in events:
+        yield json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(events: Iterable[SpanEvent], path: Path | str) -> int:
+    """Write events as JSONL; returns the number of lines written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for line in jsonl_lines(events):
+            handle.write(line + "\n")
+            count += 1
+    return count
+
+
+def _micros(seconds: float) -> int:
+    return int(round(seconds * 1_000_000))
+
+
+def chrome_trace(
+    events: Sequence[SpanEvent],
+    metrics: MetricsSnapshot | None = None,
+    clock_kind: str = "",
+) -> dict:
+    """Build a Chrome trace-event document from recorded events.
+
+    Args:
+        events: Events to export (recording order; re-sorted by ``seq``).
+        metrics: Optional registry snapshot embedded as ``otherData``.
+        clock_kind: Clock domain label (``wall``/``virtual``) recorded in
+            the document metadata.
+    """
+    ordered = sorted(events, key=lambda e: e.seq)
+    tracks = sorted({event.track for event in ordered})
+    tids = {track: index + 1 for index, track in enumerate(tracks)}
+
+    trace_events: list[dict] = []
+    for track in tracks:
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    for event in ordered:
+        record: dict = {
+            "name": event.name,
+            "cat": "repro",
+            "pid": _PID,
+            "tid": tids[event.track],
+            "ts": _micros(event.start),
+            "args": event.attr_dict(),
+        }
+        if event.kind == "instant":
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped marker
+        else:
+            record["ph"] = "X"
+            record["dur"] = _micros(event.end) - _micros(event.start)
+        trace_events.append(record)
+
+    document: dict = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "clock": clock_kind,
+            "n_events": len(ordered),
+        },
+    }
+    if metrics is not None:
+        document["otherData"]["metrics"] = metrics.as_dict()
+    return document
+
+
+def write_chrome_trace(
+    events: Sequence[SpanEvent],
+    path: Path | str,
+    metrics: MetricsSnapshot | None = None,
+    clock_kind: str = "",
+) -> Path:
+    """Write the Chrome trace-event JSON document; returns the path."""
+    path = Path(path)
+    document = chrome_trace(events, metrics=metrics, clock_kind=clock_kind)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -17,11 +17,11 @@ suspects — the way a deployed dashboard would query it.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.core.acs import ACSConfig
+from repro.obs import Clock, WallClock
 from repro.core.reliability import (
     ReliabilityEstimator,
     SourceReliability,
@@ -82,9 +82,11 @@ class SocialSensingApplication:
         self,
         config: ApplicationConfig | None = None,
         pipeline: Optional[TweetPipeline] = None,
+        clock: Clock | None = None,
     ) -> None:
         self.config = config or ApplicationConfig()
         self.pipeline = pipeline or TweetPipeline()
+        self.clock: Clock = clock if clock is not None else WallClock()
         self.engine = StreamingSSTD(
             self.config.sstd, retrain_every=self.config.retrain_every
         )
@@ -109,7 +111,7 @@ class SocialSensingApplication:
 
         Wall-clock processing time is recorded against the deadline.
         """
-        started = time.perf_counter()
+        started = self.clock.now()
         for report in reports:
             self.engine.push(report)
             self._reports.append(report)
@@ -127,7 +129,7 @@ class SocialSensingApplication:
                         )
                     )
             self._verdicts[estimate.claim_id] = estimate.value
-        elapsed = time.perf_counter() - started
+        elapsed = self.clock.now() - started
         self.tracker.record(self._batch_index, len(reports), elapsed)
         self._batch_index += 1
         return len(reports)

@@ -21,6 +21,7 @@ from repro.cluster.simulation import PeriodicTask, Simulator
 from repro.control.knobs import GlobalControlKnob, KnobConfig, LocalControlKnob
 from repro.control.pid import PAPER_GAINS, PIDController, PIDGains
 from repro.control.wcet import WCETModel
+from repro.obs import Observability
 from repro.system.jobs import TDJob
 from repro.workqueue.master import WorkQueueMaster
 from repro.workqueue.pool import ElasticWorkerPool
@@ -63,12 +64,17 @@ class DynamicTaskManager:
         pool: ElasticWorkerPool,
         wcet: WCETModel,
         config: DTMConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.simulator = simulator
         self.master = master
         self.pool = pool
         self.wcet = wcet
         self.config = config or DTMConfig()
+        # Control plane and data plane share one recorder by default, so
+        # controller samples land on the same (virtual) clockline as
+        # dispatch events.
+        self.obs = obs if obs is not None else master.obs
         self.jobs: dict[str, TDJob] = {}
         self.controllers: dict[str, PIDController] = {}
         self.lcks: dict[str, LocalControlKnob] = {}
@@ -87,6 +93,8 @@ class DynamicTaskManager:
         self.controllers[job.job_id] = PIDController(
             gains=self.config.pid_gains,
             sample_time=self.config.sample_period,
+            obs=self.obs,
+            name=f"pid:{job.job_id}",
         )
         self.lcks[job.job_id] = LocalControlKnob(job.job_id, self.config.knobs)
 
@@ -162,4 +170,19 @@ class DynamicTaskManager:
                 )
                 if target != self.pool.size:
                     self.pool.scale_to(target)
+                    if self.obs.enabled:
+                        self.obs.tracer.instant(
+                            "control.scale",
+                            track="control",
+                            target=target,
+                        )
             self.pool_size_log.append((self.simulator.now, self.pool.size))
+        if self.obs.enabled:
+            self.obs.metrics.inc("control.samples")
+            self.obs.metrics.set_gauge("control.pool_size", float(self.pool.size))
+            self.obs.tracer.instant(
+                "control.update",
+                track="control",
+                jobs=len(signals),
+                pool_size=self.pool.size,
+            )

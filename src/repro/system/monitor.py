@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cluster.simulation import PeriodicTask, Simulator
+from repro.obs import Observability, percentile
 from repro.workqueue.master import WorkQueueMaster
 
 __all__ = [
@@ -62,6 +63,35 @@ class MonitorSummary:
             return 0.0
         return sum(s.pending_tasks for s in self.samples) / len(self.samples)
 
+    # -- distribution helpers (nearest-rank; empty sample sets -> 0.0) --
+    def queue_depth_percentile(self, q: float) -> float:
+        """``q``-th percentile of the sampled queue depth."""
+        return percentile([s.pending_tasks for s in self.samples], q)
+
+    def utilization_percentile(self, q: float) -> float:
+        """``q``-th percentile of the sampled worker utilization."""
+        return percentile([s.utilization for s in self.samples], q)
+
+    @property
+    def p50_queue_depth(self) -> float:
+        return self.queue_depth_percentile(50.0)
+
+    @property
+    def p95_queue_depth(self) -> float:
+        return self.queue_depth_percentile(95.0)
+
+    @property
+    def p50_utilization(self) -> float:
+        return self.utilization_percentile(50.0)
+
+    @property
+    def p95_utilization(self) -> float:
+        return self.utilization_percentile(95.0)
+
+    @property
+    def max_utilization(self) -> float:
+        return max((s.utilization for s in self.samples), default=0.0)
+
 
 class SystemMonitor:
     """Samples a Work Queue master on a fixed virtual-time period."""
@@ -71,12 +101,25 @@ class SystemMonitor:
         simulator: Simulator,
         master: WorkQueueMaster,
         period: float = 1.0,
+        obs: Observability | None = None,
     ) -> None:
+        """Args:
+            simulator: The virtual clock driving the sampling period.
+            master: The Work Queue master being observed.
+            period: Sampling period in virtual seconds (paper: 1 Hz).
+            obs: Metric registry to consume; defaults to the master's
+                own recorder.  When tracing is on, each sample reads the
+                ``wq.*`` gauges the master maintains (falling back to
+                direct master reads when a gauge has not been set yet)
+                and feeds ``monitor.queue_depth`` /
+                ``monitor.utilization`` histograms back into it.
+        """
         if period <= 0:
             raise ValueError("period must be > 0")
         self.simulator = simulator
         self.master = master
         self.period = period
+        self.obs = obs if obs is not None else master.obs
         self.samples: list[MonitorSample] = []
         self._task: PeriodicTask | None = None
 
@@ -93,19 +136,44 @@ class SystemMonitor:
             self._task = None
 
     def sample_once(self) -> None:
-        busy = sum(1 for w in self.master.workers if w.busy)
         backlog = sum(
             1 for account in self.master.jobs.values() if account.pending > 0
         )
-        self.samples.append(
-            MonitorSample(
-                time=self.simulator.now,
-                pending_tasks=len(self.master.pending),
-                busy_workers=busy,
-                total_workers=self.master.active_worker_count,
-                jobs_with_backlog=backlog,
+        if self.obs.enabled:
+            # Consume the master's registry gauges; a gauge the master
+            # has not touched yet falls back to a direct read.
+            metrics = self.obs.metrics
+            pending = int(
+                metrics.gauge("wq.queue_depth", float(len(self.master.pending)))
             )
+            busy = int(
+                metrics.gauge(
+                    "wq.busy_workers",
+                    float(sum(1 for w in self.master.workers if w.busy)),
+                )
+            )
+            total = int(
+                metrics.gauge(
+                    "wq.active_workers", float(self.master.active_worker_count)
+                )
+            )
+        else:
+            pending = len(self.master.pending)
+            busy = sum(1 for w in self.master.workers if w.busy)
+            total = self.master.active_worker_count
+        sample = MonitorSample(
+            time=self.simulator.now,
+            pending_tasks=pending,
+            busy_workers=busy,
+            total_workers=total,
+            jobs_with_backlog=backlog,
         )
+        self.samples.append(sample)
+        if self.obs.enabled:
+            self.obs.metrics.observe(
+                "monitor.queue_depth", float(sample.pending_tasks)
+            )
+            self.obs.metrics.observe("monitor.utilization", sample.utilization)
 
     def summary(self) -> MonitorSummary:
         return MonitorSummary(samples=tuple(self.samples))

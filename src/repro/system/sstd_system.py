@@ -20,7 +20,6 @@ Two entry points:
 from __future__ import annotations
 
 import collections
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -31,6 +30,7 @@ from repro.cluster.simulation import PeriodicTask, Simulator
 from repro.control.wcet import WCETModel
 from repro.core.sstd import SSTD, SSTDConfig, StreamingSSTD
 from repro.core.types import Report, TruthEstimate
+from repro.obs import Observability, VirtualClock, using
 from repro.streams.trace import Trace
 from repro.system.deadline import DeadlineTracker
 from repro.system.dtm import DTMConfig, DynamicTaskManager
@@ -87,6 +87,12 @@ class SSTDSystemConfig:
             simulated backend.
         drain_timeout: Wall-clock cap (seconds) on one ``drain`` of the
             real backends before the run aborts with ``TimeoutError``.
+        observability: Record spans and metrics for the run (exposed on
+            :attr:`DistributedSSTD.obs` afterwards, exportable with
+            :func:`repro.obs.write_chrome_trace`).  ``True``/``False``
+            force it; ``None`` (default) defers to the ``REPRO_TRACE``
+            environment variable.  The simulated backend records on the
+            virtual clock, the real backends on wall time.
     """
 
     n_workers: int = 4
@@ -103,6 +109,7 @@ class SSTDSystemConfig:
     failures: FailureConfig | None = None
     backend: str = "simulated"
     drain_timeout: float = 600.0
+    observability: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -162,6 +169,9 @@ class DistributedSSTD:
 
     def __init__(self, config: SSTDSystemConfig | None = None) -> None:
         self.config = config or SSTDSystemConfig()
+        #: Recorder of the most recent run; replaced at the start of
+        #: each run so traces never mix runs.
+        self.obs = Observability.disabled()
 
     # ------------------------------------------------------------------
     # Deployment plumbing
@@ -177,7 +187,10 @@ class DistributedSSTD:
             ceiling = config.max_workers or config.n_workers * 4
             nodes = uniform_pool(max(1, (ceiling + 3) // 4), cores=4)
         condor = CondorPool(nodes)
-        master = WorkQueueMaster(simulator, rng=config.seed)
+        self.obs = Observability.resolve(
+            config.observability, clock=VirtualClock(simulator)
+        )
+        master = WorkQueueMaster(simulator, rng=config.seed, obs=self.obs)
         pool = ElasticWorkerPool(
             simulator,
             master,
@@ -227,28 +240,41 @@ class DistributedSSTD:
         grouped = engine.group_reports(reports)
         estimates: list[TruthEstimate] = []
 
-        n_tasks = 0
-        for claim_id in sorted(grouped):
-            job = TDJob(
-                job_id=claim_id,
-                claim_id=claim_id,
-                deadline=self.config.deadline,
-                tasks_per_batch=self.config.tasks_per_job,
-            )
-            dtm.register_job(job)
-            tasks = job.make_tasks(grouped[claim_id])
-            # The final task of each job carries the decode payload so the
-            # truth result materializes when the job's data is processed.
-            # The payload is the same picklable spec the real backends use.
-            tasks[-1].fn = decode_task_spec(
-                claim_id, grouped[claim_id], self.config.sstd, start, end
-            )
-            for task in tasks:
-                master.submit(task)
-            n_tasks += len(tasks)
+        run_start = simulator.now
+        with using(self.obs):
+            n_tasks = 0
+            for claim_id in sorted(grouped):
+                job = TDJob(
+                    job_id=claim_id,
+                    claim_id=claim_id,
+                    deadline=self.config.deadline,
+                    tasks_per_batch=self.config.tasks_per_job,
+                )
+                dtm.register_job(job)
+                tasks = job.make_tasks(grouped[claim_id])
+                # The final task of each job carries the decode payload so
+                # the truth result materializes when the job's data is
+                # processed.  It is the same picklable spec the real
+                # backends use.
+                tasks[-1].fn = decode_task_spec(
+                    claim_id, grouped[claim_id], self.config.sstd, start, end
+                )
+                for task in tasks:
+                    master.submit(task)
+                n_tasks += len(tasks)
 
-        master.wait_all()
-        dtm.stop()
+            master.wait_all()
+            dtm.stop()
+        if self.obs.enabled:
+            self.obs.tracer.record_span(
+                "system.run_batch",
+                start=run_start,
+                end=simulator.now,
+                track="system",
+                backend=self.config.backend,
+                n_jobs=len(grouped),
+                n_tasks=n_tasks,
+            )
         for result in master.results:
             if result.output:
                 estimates.extend(result.output)
@@ -274,12 +300,17 @@ class DistributedSSTD:
     # ------------------------------------------------------------------
     def _make_executor(self) -> LocalWorkQueue | ProcessWorkQueue:
         """The wall-time executor selected by ``config.backend``."""
+        self.obs = Observability.resolve(self.config.observability)
         if self.config.backend == "threads":
             return LocalWorkQueue(
-                n_workers=self.config.n_workers, rng=self.config.seed
+                n_workers=self.config.n_workers,
+                rng=self.config.seed,
+                obs=self.obs,
             )
         return ProcessWorkQueue(
-            n_workers=self.config.n_workers, rng=self.config.seed
+            n_workers=self.config.n_workers,
+            rng=self.config.seed,
+            obs=self.obs,
         )
 
     @staticmethod
@@ -309,22 +340,45 @@ class DistributedSSTD:
         config = self.config
         grouped = SSTD(config.sstd).group_reports(reports)
         executor = self._make_executor()
-        clock_start = time.perf_counter()
+        clock_start = self.obs.clock.now()
         try:
-            for claim_id in sorted(grouped):
-                executor.submit(
-                    Task(
-                        job_id=claim_id,
-                        data_size=float(len(grouped[claim_id])),
-                        fn=decode_task_spec(
-                            claim_id, grouped[claim_id], config.sstd, start, end
-                        ),
+            with using(self.obs):
+                for claim_id in sorted(grouped):
+                    executor.submit(
+                        Task(
+                            job_id=claim_id,
+                            data_size=float(len(grouped[claim_id])),
+                            fn=decode_task_spec(
+                                claim_id,
+                                grouped[claim_id],
+                                config.sstd,
+                                start,
+                                end,
+                            ),
+                        )
                     )
-                )
-            results = executor.drain(timeout=config.drain_timeout)
+                submitted_at = self.obs.clock.now()
+                results = executor.drain(timeout=config.drain_timeout)
         finally:
             executor.shutdown()
-        makespan = time.perf_counter() - clock_start
+        makespan = self.obs.clock.now() - clock_start
+        if self.obs.enabled:
+            self.obs.tracer.record_span(
+                "system.submit",
+                start=clock_start,
+                end=submitted_at,
+                track="system",
+                n_tasks=len(grouped),
+            )
+            self.obs.tracer.record_span(
+                "system.run_batch",
+                start=clock_start,
+                end=clock_start + makespan,
+                track="system",
+                backend=config.backend,
+                n_jobs=len(grouped),
+                n_tasks=len(results),
+            )
         self._check_failures(results)
 
         estimates: list[TruthEstimate] = []
@@ -380,24 +434,34 @@ class DistributedSSTD:
                 for report in batch:
                     by_claim[report.claim_id].append(report)
 
-                interval_start = time.perf_counter()
-                for claim_id in sorted(by_claim):
-                    history[claim_id].extend(by_claim[claim_id])
-                    executor.submit(
-                        Task(
-                            job_id=claim_id,
-                            data_size=float(len(history[claim_id])),
-                            fn=decode_task_spec(
-                                claim_id,
-                                history[claim_id],
-                                config.sstd,
-                                trace.start,
-                                hi,
-                            ),
+                interval_start = self.obs.clock.now()
+                with using(self.obs):
+                    for claim_id in sorted(by_claim):
+                        history[claim_id].extend(by_claim[claim_id])
+                        executor.submit(
+                            Task(
+                                job_id=claim_id,
+                                data_size=float(len(history[claim_id])),
+                                fn=decode_task_spec(
+                                    claim_id,
+                                    history[claim_id],
+                                    config.sstd,
+                                    trace.start,
+                                    hi,
+                                ),
+                            )
                         )
+                    results = executor.drain(timeout=config.drain_timeout)
+                execution_time = self.obs.clock.now() - interval_start
+                if self.obs.enabled:
+                    self.obs.tracer.record_span(
+                        "system.interval",
+                        start=interval_start,
+                        end=interval_start + execution_time,
+                        track="system",
+                        index=index,
+                        n_reports=len(batch),
                     )
-                results = executor.drain(timeout=config.drain_timeout)
-                execution_time = time.perf_counter() - interval_start
                 self._check_failures(results)
                 if compute_estimates:
                     for result in results:
@@ -497,10 +561,20 @@ class DistributedSSTD:
                 for task in job.make_tasks(by_claim[claim_id], payload):
                     master.submit(task)
 
-            master.wait_all()
-            if streaming is not None:
-                estimates.extend(streaming.tick(hi))
+            with using(self.obs):
+                master.wait_all()
+                if streaming is not None:
+                    estimates.extend(streaming.tick(hi))
             execution_time = simulator.now - interval_start
+            if self.obs.enabled:
+                self.obs.tracer.record_span(
+                    "system.interval",
+                    start=interval_start,
+                    end=simulator.now,
+                    track="system",
+                    index=index,
+                    n_reports=len(batch),
+                )
             tracker.record(index, len(batch), execution_time)
             # Reset per-job accounting for the next interval's measurement.
             for account in master.jobs.values():

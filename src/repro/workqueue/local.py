@@ -13,12 +13,12 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
 
+from repro.obs import MetricsSnapshot, Observability
 from repro.workqueue.task import Task, TaskError
 
 __all__ = [
@@ -33,7 +33,11 @@ class LocalResult:
 
     ``error`` is a picklable :class:`repro.workqueue.task.TaskError`
     (never a raw exception object), so results from the thread and the
-    process backends are interchangeable.
+    process backends are interchangeable.  ``metrics`` carries the
+    worker-side :class:`repro.obs.MetricsSnapshot` for this task (the
+    process backend's channel for shipping engine metrics back to the
+    master); ``None`` when tracing is off or the backend records into
+    the master registry directly.
     """
 
     task_id: int
@@ -42,6 +46,7 @@ class LocalResult:
     output: Any
     wall_time: float
     error: Optional[TaskError] = None
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def ok(self) -> bool:
@@ -60,12 +65,16 @@ class LocalWorkQueue:
     """
 
     def __init__(
-        self, n_workers: int = 2, rng: np.random.Generator | int | None = None
+        self,
+        n_workers: int = 2,
+        rng: np.random.Generator | int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
+        self.obs = obs if obs is not None else Observability.from_env()
         self._lock = threading.Lock()
         self._rng = rng  # guarded-by: _lock
         self._pending: list[Task] = []  # guarded-by: _lock
@@ -122,34 +131,51 @@ class LocalWorkQueue:
                 task = self._pick_task()
             if task is None:
                 continue
-            start = time.perf_counter()
+            start = self.obs.clock.now()
             error: Optional[TaskError] = None
             output = None
             try:
                 output = task.run()
             except Exception as exc:  # deliberate: task errors are data
                 error = TaskError.from_exception(exc)
+            end = self.obs.clock.now()
+            if self.obs.enabled:
+                self.obs.metrics.inc("wq.completed")
+                self.obs.metrics.inc("worker.tasks")
+                if error is not None:
+                    self.obs.metrics.inc("worker.task_errors")
+                self.obs.metrics.observe("wq.task_seconds", end - start)
+                self.obs.metrics.observe("worker.task_seconds", end - start)
+                self.obs.tracer.record_span(
+                    "wq.task",
+                    start=start,
+                    end=end,
+                    track=name,
+                    job_id=task.job_id,
+                    task_id=task.task_id,
+                    ok=error is None,
+                )
             self._results.put(
                 LocalResult(
                     task_id=task.task_id,
                     job_id=task.job_id,
                     worker_name=name,
                     output=output,
-                    wall_time=time.perf_counter() - start,
+                    wall_time=end - start,
                     error=error,
                 )
             )
 
     def drain(self, timeout: float = 60.0) -> list[LocalResult]:
         """Block until every submitted task has finished; return results."""
-        deadline = time.monotonic() + timeout
+        deadline = self.obs.clock.now() + timeout
         collected: list[LocalResult] = []
         while True:
             with self._lock:
                 outstanding = self._outstanding
             if outstanding == 0:
                 break
-            remaining = deadline - time.monotonic()
+            remaining = deadline - self.obs.clock.now()
             if remaining <= 0:
                 raise TimeoutError(
                     f"{outstanding} tasks still outstanding"

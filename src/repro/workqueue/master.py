@@ -19,6 +19,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.cluster.simulation import Simulator
+from repro.obs import Observability, VirtualClock
 from repro.workqueue.task import Task, TaskResult
 from repro.workqueue.worker import SimulatedWorker
 
@@ -57,6 +58,7 @@ class WorkQueueMaster:
         simulator: Simulator,
         rng: np.random.Generator | int | None = None,
         dispatch_overhead: float = 0.0,
+        obs: Observability | None = None,
     ) -> None:
         """Args:
             simulator: The virtual clock.
@@ -66,6 +68,9 @@ class WorkQueueMaster:
                 single process, so this cost serializes — the classic
                 Work Queue scalability bottleneck that caps speedup for
                 overhead-dominated (small) workloads.
+            obs: Tracing/metrics recorder; defaults to an instance on
+                the simulation's virtual clock, enabled only when
+                ``REPRO_TRACE`` asks for it.
         """
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
@@ -74,6 +79,11 @@ class WorkQueueMaster:
         self.simulator = simulator
         self.rng = rng
         self.dispatch_overhead = dispatch_overhead
+        self.obs = (
+            obs
+            if obs is not None
+            else Observability.from_env(clock=VirtualClock(simulator))
+        )
         self._master_free = 0.0
         self.pending: list[Task] = []
         self.workers: list[SimulatedWorker] = []
@@ -137,6 +147,15 @@ class WorkQueueMaster:
             self.jobs[task.job_id] = account
         account.submitted += 1
         self.pending.append(task)
+        if self.obs.enabled:
+            self.obs.metrics.inc("wq.submitted")
+            self.obs.tracer.instant(
+                "wq.submit",
+                track="master",
+                job_id=task.job_id,
+                task_id=task.task_id,
+            )
+            self._update_gauges()
         self._dispatch()
 
     def on_result(self, listener: Callable[[TaskResult], None]) -> None:
@@ -187,6 +206,16 @@ class WorkQueueMaster:
                 if worker is None:
                     return
             self.pending.pop(index)
+            if self.obs.enabled:
+                self.obs.metrics.inc("wq.dispatched")
+                self.obs.tracer.instant(
+                    "wq.dispatch",
+                    track="master",
+                    job_id=task.job_id,
+                    task_id=task.task_id,
+                    worker=worker.name,
+                    attempt=task.attempts + 1,
+                )
             if self.dispatch_overhead > 0:
                 now = self.simulator.now
                 dispatch_done = (
@@ -203,16 +232,41 @@ class WorkQueueMaster:
                 worker.execute(
                     task, self._task_done, on_timeout=self._task_timed_out
                 )
+            if self.obs.enabled:
+                self._update_gauges()
 
     def _task_timed_out(self, worker: SimulatedWorker, task: Task) -> None:
         """A straggler attempt hit its cap: retry elsewhere or give up."""
+        if self.obs.enabled:
+            self.obs.metrics.inc("wq.timeouts")
         if task.attempts > task.max_retries:
             self.failed.append(task)
             account = self.jobs[task.job_id]
             account.completed += 1  # terminal: no longer outstanding
             account.last_finish_at = self.simulator.now
+            if self.obs.enabled:
+                self.obs.metrics.inc("wq.failed")
+                self.obs.tracer.instant(
+                    "wq.task_failed",
+                    track="master",
+                    job_id=task.job_id,
+                    task_id=task.task_id,
+                    attempts=task.attempts,
+                )
         else:
             self.pending.append(task)
+            if self.obs.enabled:
+                self.obs.metrics.inc("wq.requeued")
+                self.obs.tracer.instant(
+                    "wq.requeue",
+                    track="master",
+                    job_id=task.job_id,
+                    task_id=task.task_id,
+                    reason="timeout",
+                    worker=worker.name,
+                )
+        if self.obs.enabled:
+            self._update_gauges()
         self._dispatch()
 
     def _task_done(self, worker: SimulatedWorker, result: TaskResult) -> None:
@@ -221,6 +275,27 @@ class WorkQueueMaster:
         account.completed += 1
         account.last_finish_at = result.finished_at
         account.busy_time += result.execution_time
+        if self.obs.enabled:
+            self.obs.metrics.inc("wq.completed")
+            self.obs.metrics.observe("wq.task_seconds", result.execution_time)
+            self.obs.tracer.record_span(
+                "wq.task",
+                start=result.started_at,
+                end=result.finished_at,
+                track=worker.name,
+                job_id=result.job_id,
+                task_id=result.task_id,
+            )
+            if account.pending == 0:
+                self.obs.tracer.record_span(
+                    "wq.job",
+                    start=account.first_submit_at,
+                    end=account.last_finish_at,
+                    track=f"job:{result.job_id}",
+                    job_id=result.job_id,
+                    tasks=account.completed,
+                )
+            self._update_gauges()
         for listener in self._result_listeners:
             listener(result)
         if worker.release_if_drained():
@@ -236,10 +311,35 @@ class WorkQueueMaster:
         task = worker.interrupt()
         worker.retired = True
         self._forget(worker)
+        if self.obs.enabled:
+            self.obs.metrics.inc("wq.worker_lost")
+            self.obs.tracer.instant(
+                "wq.worker_lost", track="master", worker=worker.name
+            )
         if task is not None:
+            if self.obs.enabled:
+                self.obs.metrics.inc("wq.requeued")
+                self.obs.tracer.instant(
+                    "wq.requeue",
+                    track="master",
+                    job_id=task.job_id,
+                    task_id=task.task_id,
+                    reason="worker_lost",
+                    worker=worker.name,
+                )
             self.pending.append(task)
             self._dispatch()
         return task
+
+    def _update_gauges(self) -> None:
+        """Refresh queue-shape gauges; call only when ``obs.enabled``."""
+        self.obs.metrics.set_gauge("wq.queue_depth", float(len(self.pending)))
+        self.obs.metrics.set_gauge(
+            "wq.busy_workers", float(sum(1 for w in self.workers if w.busy))
+        )
+        self.obs.metrics.set_gauge(
+            "wq.active_workers", float(self.active_worker_count)
+        )
 
     # ------------------------------------------------------------------
     # Introspection

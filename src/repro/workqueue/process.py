@@ -36,11 +36,11 @@ import os
 import pickle
 import queue
 import threading
-import time
 from typing import Any, Optional
 
 import numpy as np
 
+from repro.obs import MetricsSnapshot, Observability, WallClock, using
 from repro.workqueue.local import LocalResult
 from repro.workqueue.task import Task, TaskError
 
@@ -49,25 +49,42 @@ __all__ = [
 ]
 
 
-def _worker_main(inbox: Any, outbox: Any, worker_name: str) -> None:
+def _worker_main(
+    inbox: Any, outbox: Any, worker_name: str, record_metrics: bool = False
+) -> None:
     """Worker process loop: run pickled payloads, report results.
 
     The payload arrives pre-pickled (the master controls serialization
     errors explicitly) and the output is pre-pickled on the way back for
     the same reason: a ``multiprocessing.Queue`` pickles in a background
     feeder thread, where failures would vanish silently.
+
+    With ``record_metrics`` the worker installs a fresh ambient
+    :class:`~repro.obs.Observability` per task, so engine code running
+    in the payload (Baum-Welch, decoding) records into it; the resulting
+    :class:`~repro.obs.MetricsSnapshot` travels back in the result tuple
+    for a master-side merge.  Spans stay worker-local for now — clocks
+    are per-process, so cross-process span stitching is a roadmap item.
     """
+    clock = WallClock()
     while True:
         item = inbox.get()
         if item is None:
             return
         task_id, job_id, payload_bytes = item
-        start = time.perf_counter()
+        worker_obs = (
+            Observability(clock=clock, capacity=256) if record_metrics else None
+        )
+        start = clock.now()
         output = None
         error: Optional[TaskError] = None
         try:
             payload = pickle.loads(payload_bytes)
-            output = payload() if payload is not None else None
+            if worker_obs is not None:
+                with using(worker_obs):
+                    output = payload() if payload is not None else None
+            else:
+                output = payload() if payload is not None else None
         except Exception as exc:  # deliberate: task errors are data
             error = TaskError.from_exception(exc)
         try:
@@ -75,14 +92,24 @@ def _worker_main(inbox: Any, outbox: Any, worker_name: str) -> None:
         except Exception as exc:  # unpicklable output is a task error
             error = TaskError.from_exception(exc)
             output_bytes = pickle.dumps(None)
+        metrics: Optional[MetricsSnapshot] = None
+        if worker_obs is not None:
+            worker_obs.metrics.inc("worker.tasks")
+            if error is not None:
+                worker_obs.metrics.inc("worker.task_errors")
+            worker_obs.metrics.observe(
+                "worker.task_seconds", clock.now() - start
+            )
+            metrics = worker_obs.metrics.snapshot()
         outbox.put(
             (
                 worker_name,
                 task_id,
                 job_id,
                 output_bytes,
-                time.perf_counter() - start,
+                clock.now() - start,
                 error,
+                metrics,
             )
         )
 
@@ -120,6 +147,9 @@ class ProcessWorkQueue:
             ``fork`` where available (cheap startup) else ``spawn``.
         poll_interval: Supervisor wake-up period in seconds; bounds how
             fast deaths/timeouts are detected.
+        obs: Tracing/metrics recorder (wall clock).  When enabled,
+            workers additionally record per-task engine metrics and ship
+            snapshots back for a master-side merge.
     """
 
     def __init__(
@@ -128,6 +158,7 @@ class ProcessWorkQueue:
         rng: np.random.Generator | int | None = None,
         start_method: str | None = None,
         poll_interval: float = 0.02,
+        obs: Observability | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -135,6 +166,7 @@ class ProcessWorkQueue:
             raise ValueError("poll_interval must be > 0")
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
+        self.obs = obs if obs is not None else Observability.from_env()
         if start_method is None:
             start_method = os.environ.get("REPRO_MP_START_METHOD") or None
         if start_method is None:
@@ -190,14 +222,14 @@ class ProcessWorkQueue:
 
     def drain(self, timeout: float = 60.0) -> list[LocalResult]:
         """Block until every submitted task has finished; return results."""
-        deadline = time.monotonic() + timeout
+        deadline = self.obs.clock.now() + timeout
         collected: list[LocalResult] = []
         while True:
             with self._lock:
                 outstanding = self._outstanding
             if outstanding == 0:
                 break
-            remaining = deadline - time.monotonic()
+            remaining = deadline - self.obs.clock.now()
             if remaining <= 0:
                 raise TimeoutError(f"{outstanding} tasks still outstanding")
             try:
@@ -226,6 +258,10 @@ class ProcessWorkQueue:
                 worker.inbox.put(None)
             except (OSError, ValueError):
                 continue  # worker already gone; nothing to signal
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "wq.poison_pill", track="master", worker=worker.name
+                )
         self._supervisor.join(timeout=10.0)
         for worker in workers:
             worker.process.join(timeout=2.0)
@@ -250,11 +286,16 @@ class ProcessWorkQueue:
         inbox = self._ctx.Queue()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(inbox, self._outbox, name),
+            args=(inbox, self._outbox, name, self.obs.enabled),
             name=name,
             daemon=True,
         )
         process.start()
+        if self.obs.enabled:
+            self.obs.metrics.inc("wq.worker_spawned")
+            self.obs.tracer.instant(
+                "wq.worker_spawned", track="master", worker=name
+            )
         return _WorkerHandle(process, inbox, name)
 
     def _pick_task(self) -> Optional[Task]:  # holds-lock: _lock
@@ -291,12 +332,14 @@ class ProcessWorkQueue:
         task.attempts += 1
         task.tried_workers.add(worker.name)
         worker.current = task
-        worker.dispatched_at = time.monotonic()
+        worker.dispatched_at = self.obs.clock.now()
         worker.inbox.put((task.task_id, task.job_id, payload_bytes))
+        if self.obs.enabled:
+            self.obs.metrics.inc("wq.dispatched")
         return True
 
     def _handle_result(self, item: tuple) -> None:
-        worker_name, task_id, job_id, output_bytes, wall_time, error = item
+        worker_name, task_id, job_id, output_bytes, wall_time, error = item[:6]
         with self._lock:
             if task_id in self._completed:
                 return  # duplicate from a retry whose first attempt landed
@@ -304,6 +347,22 @@ class ProcessWorkQueue:
             for worker in self._workers:
                 if worker.name == worker_name:
                     worker.current = None
+        metrics = item[6] if len(item) > 6 else None
+        if self.obs.enabled:
+            self.obs.metrics.inc("wq.completed")
+            self.obs.metrics.observe("wq.task_seconds", wall_time)
+            end = self.obs.clock.now()
+            self.obs.tracer.record_span(
+                "wq.task",
+                start=end - wall_time,
+                end=end,
+                track=worker_name,
+                job_id=job_id,
+                task_id=task_id,
+                ok=error is None,
+            )
+            if metrics is not None:
+                self.obs.metrics.merge(metrics)
         self._results.put(
             LocalResult(
                 task_id=task_id,
@@ -312,6 +371,7 @@ class ProcessWorkQueue:
                 output=pickle.loads(output_bytes),
                 wall_time=wall_time,
                 error=error,
+                metrics=metrics,
             )
         )
 
@@ -321,8 +381,28 @@ class ProcessWorkQueue:
             return  # its result already came back; nothing was lost
         if task.attempts <= task.max_retries:
             self._pending.append(task)
+            if self.obs.enabled:
+                self.obs.metrics.inc("wq.requeued")
+                self.obs.tracer.instant(
+                    "wq.requeue",
+                    track="master",
+                    job_id=task.job_id,
+                    task_id=task.task_id,
+                    reason=reason,
+                    attempt=task.attempts,
+                )
             return
         self._completed.add(task.task_id)
+        if self.obs.enabled:
+            self.obs.metrics.inc("wq.failed")
+            self.obs.tracer.instant(
+                "wq.task_failed",
+                track="master",
+                job_id=task.job_id,
+                task_id=task.task_id,
+                reason=reason,
+                attempts=task.attempts,
+            )
         self._results.put(
             LocalResult(
                 task_id=task.task_id,
@@ -352,7 +432,7 @@ class ProcessWorkQueue:
         just read it — so the snapshot cannot lose a concurrent append,
         and ``worker.current`` is likewise supervisor-private.
         """
-        now = time.monotonic()
+        now = self.obs.clock.now()
         with self._lock:
             workers = list(self._workers)
             shutting_down = self._shutdown
@@ -371,11 +451,25 @@ class ProcessWorkQueue:
                 survivors.append(worker)
             else:
                 dead.append((worker, timed_out))
+        if dead and self.obs.enabled:
+            for worker, timed_out in dead:
+                if timed_out:
+                    self.obs.metrics.inc("wq.timeouts")
+                else:
+                    self.obs.metrics.inc("wq.worker_death")
+                self.obs.tracer.instant(
+                    "wq.worker_death",
+                    track="master",
+                    worker=worker.name,
+                    reason="timeout" if timed_out else "died",
+                )
         any_alive = bool(survivors)
         replacements: list[_WorkerHandle] = []
         if dead and not shutting_down:
             replacements = [self._spawn_worker() for _ in dead]
             any_alive = True
+            if self.obs.enabled:
+                self.obs.metrics.inc("wq.worker_respawn", len(replacements))
         with self._lock:
             for worker, timed_out in dead:
                 if worker.current is not None:
@@ -400,6 +494,10 @@ class ProcessWorkQueue:
                     worker.inbox.put(None)
                 except (OSError, ValueError):
                     continue  # queue already closed; worker is exiting anyway
+                if self.obs.enabled:
+                    self.obs.tracer.instant(
+                        "wq.poison_pill", track="master", worker=worker.name
+                    )
         return shutting_down and not any_alive
 
     def _supervise(self) -> None:

@@ -1,0 +1,153 @@
+"""Exporters: JSONL round-trip and the Chrome trace golden file.
+
+The golden file pins the Chrome trace-event schema byte-for-byte: track
+metadata first, ``ph: "X"`` complete events for spans, ``ph: "i"``
+instants, integer-microsecond timestamps, sorted keys, and the metrics
+snapshot under ``otherData``.  Regenerate it after an intentional schema
+change with::
+
+    PYTHONPATH=src:tests python -c \
+        "from obs.test_export import write_golden; write_golden()"
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import (
+    ManualClock,
+    MetricRegistry,
+    SpanTracer,
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "chrome_trace.json"
+
+
+def _scripted_run() -> tuple[SpanTracer, MetricRegistry]:
+    """A small deterministic run on a manual clock (virtual timestamps)."""
+    clock = ManualClock()
+    tracer = SpanTracer(clock)
+    metrics = MetricRegistry()
+
+    tracer.instant("wq.submit", track="master", job_id="job-0")
+    clock.advance(0.5)
+    tracer.instant(
+        "wq.dispatch", track="master", job_id="job-0", task_id="t0", worker="w0"
+    )
+    tracer.record_span(
+        "wq.task", start=0.5, end=2.25, track="w0", job_id="job-0", task_id="t0"
+    )
+    clock.advance(1.75)
+    tracer.instant("wq.requeue", track="master", reason="timeout", task_id="t1")
+    tracer.record_span("wq.job", start=0.0, end=2.25, track="job:job-0", n_tasks=2)
+
+    metrics.inc("wq.completed", 2)
+    metrics.set_gauge("wq.queue_depth", 0.0)
+    metrics.observe("wq.task_seconds", 1.75, bounds=(1.0, 5.0))
+    return tracer, metrics
+
+
+def _build_document() -> dict:
+    tracer, metrics = _scripted_run()
+    return chrome_trace(
+        tracer.events(), metrics=metrics.snapshot(), clock_kind="manual"
+    )
+
+
+def write_golden() -> None:  # pragma: no cover - regeneration helper
+    GOLDEN.parent.mkdir(exist_ok=True)
+    tracer, metrics = _scripted_run()
+    write_chrome_trace(
+        tracer.events(), GOLDEN, metrics=metrics.snapshot(), clock_kind="manual"
+    )
+
+
+class TestChromeTrace:
+    def test_matches_golden_file(self, tmp_path):
+        tracer, metrics = _scripted_run()
+        out = write_chrome_trace(
+            tracer.events(),
+            tmp_path / "trace.json",
+            metrics=metrics.snapshot(),
+            clock_kind="manual",
+        )
+        assert out.read_text(encoding="utf-8") == GOLDEN.read_text(
+            encoding="utf-8"
+        ), "Chrome trace schema drifted; see module docstring to regenerate"
+
+    def test_document_structure(self):
+        doc = _build_document()
+        events = doc["traceEvents"]
+        # Track metadata first, one per track, in sorted track order.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == [
+            "job:job-0",
+            "master",
+            "w0",
+        ]
+        assert {m["tid"] for m in meta} == {1, 2, 3}
+
+        spans = [e for e in events if e["ph"] == "X"]
+        assert [s["name"] for s in spans] == ["wq.task", "wq.job"]
+        task = spans[0]
+        assert task["ts"] == 500_000  # 0.5 s in integer microseconds
+        assert task["dur"] == 1_750_000
+
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 3
+        assert all(i["s"] == "t" for i in instants)
+
+        other = doc["otherData"]
+        assert other["clock"] == "manual"
+        assert other["n_events"] == 5
+        assert other["metrics"]["counters"]["wq.completed"] == 2.0
+
+    def test_empty_event_list(self):
+        doc = chrome_trace([], clock_kind="wall")
+        assert doc["traceEvents"] == []
+        assert doc["otherData"]["n_events"] == 0
+        assert "metrics" not in doc["otherData"]
+
+    def test_events_resorted_by_seq(self):
+        tracer, _ = _scripted_run()
+        events = list(reversed(tracer.events()))
+        doc = chrome_trace(events)
+        named = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert [e["name"] for e in named] == [
+            "wq.submit",
+            "wq.dispatch",
+            "wq.task",
+            "wq.requeue",
+            "wq.job",
+        ]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer, _ = _scripted_run()
+        path = tmp_path / "events.jsonl"
+        assert write_jsonl(tracer.events(), path) == 5
+        rows = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [r["name"] for r in rows] == [
+            "wq.submit",
+            "wq.dispatch",
+            "wq.task",
+            "wq.requeue",
+            "wq.job",
+        ]
+        assert rows[2]["start"] == 0.5
+        assert rows[2]["end"] == 2.25
+        assert rows[2]["attrs"] == {"job_id": "job-0", "task_id": "t0"}
+
+    def test_lines_are_compact_and_sorted(self):
+        tracer, _ = _scripted_run()
+        line = next(iter(jsonl_lines(tracer.events())))
+        assert ": " not in line  # compact separators
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)

@@ -1,0 +1,224 @@
+"""MetricRegistry: counters, gauges, histograms, merge, thread safety."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    HistogramSnapshot,
+    MetricRegistry,
+    MetricsSnapshot,
+    percentile,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_created_at_zero_and_accumulates(self):
+        reg = MetricRegistry()
+        assert reg.counter("wq.completed") == 0.0
+        reg.inc("wq.completed")
+        reg.inc("wq.completed", 2.5)
+        assert reg.counter("wq.completed") == 3.5
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricRegistry()
+        assert reg.gauge("wq.queue_depth") is None
+        assert reg.gauge("wq.queue_depth", 7.0) == 7.0
+        reg.set_gauge("wq.queue_depth", 3)
+        reg.set_gauge("wq.queue_depth", 1)
+        assert reg.gauge("wq.queue_depth") == 1.0
+
+
+class TestHistograms:
+    def test_bucket_assignment_and_stats(self):
+        reg = MetricRegistry()
+        bounds = (1.0, 10.0)
+        for value in (0.5, 5.0, 50.0):
+            reg.observe("lat", value, bounds=bounds)
+        hist = reg.snapshot().histogram("lat")
+        assert hist.bounds == bounds
+        assert hist.counts == (1, 1, 1)  # one per bucket + overflow
+        assert hist.count == 3
+        assert hist.total == 55.5
+        assert hist.min == 0.5
+        assert hist.max == 50.0
+        assert hist.mean == pytest.approx(18.5)
+
+    def test_boundary_value_lands_in_lower_bucket(self):
+        reg = MetricRegistry()
+        reg.observe("lat", 1.0, bounds=(1.0, 10.0))
+        assert reg.snapshot().histogram("lat").counts == (1, 0, 0)
+
+    def test_default_buckets_applied_on_first_use(self):
+        reg = MetricRegistry()
+        reg.observe("lat", 0.2)
+        assert reg.snapshot().histogram("lat").bounds == DEFAULT_BUCKETS
+
+    def test_quantile_bucket_resolution(self):
+        reg = MetricRegistry()
+        for value in (0.5, 0.6, 5.0, 50.0):
+            reg.observe("lat", value, bounds=(1.0, 10.0))
+        hist = reg.snapshot().histogram("lat")
+        assert hist.quantile(50) == 1.0  # upper bound of first bucket
+        assert hist.quantile(100) == 50.0  # overflow returns max
+
+    def test_empty_histogram_quantile_is_zero(self):
+        hist = HistogramSnapshot(
+            bounds=(1.0,), counts=(0, 0), count=0, total=0.0, min=0.0, max=0.0
+        )
+        assert hist.quantile(50) == 0.0
+        assert hist.mean == 0.0
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_picklable_and_detached(self):
+        reg = MetricRegistry()
+        reg.inc("a")
+        reg.observe("h", 0.3)
+        snap = reg.snapshot()
+        reg.inc("a")  # must not leak into the earlier snapshot
+        restored = pickle.loads(pickle.dumps(snap))
+        assert restored.counter("a") == 1.0
+        assert restored.histogram("h").count == 1
+
+    def test_merge_adds_counters_and_histograms(self):
+        worker = MetricRegistry()
+        worker.inc("worker.tasks", 3)
+        worker.observe("lat", 0.5, bounds=(1.0,))
+        worker.set_gauge("depth", 9.0)
+
+        master = MetricRegistry()
+        master.inc("worker.tasks", 2)
+        master.observe("lat", 2.0, bounds=(1.0,))
+        master.merge(worker.snapshot())
+
+        merged = master.snapshot()
+        assert merged.counter("worker.tasks") == 5.0
+        hist = merged.histogram("lat")
+        assert hist.count == 2
+        assert hist.counts == (1, 1)
+        assert hist.min == 0.5
+        assert hist.max == 2.0
+        assert merged.gauge("depth") == 9.0  # last write wins
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = MetricRegistry()
+        a.observe("lat", 0.5, bounds=(1.0,))
+        b = MetricRegistry()
+        b.observe("lat", 0.5, bounds=(2.0,))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b.snapshot())
+
+    def test_merge_mapping_folds_all(self):
+        master = MetricRegistry()
+        snaps = {}
+        for name in ("w0", "w1", "w2"):
+            reg = MetricRegistry()
+            reg.inc("worker.tasks")
+            snaps[name] = reg.snapshot()
+        master.merge_mapping(snaps)
+        assert master.counter("worker.tasks") == 3.0
+
+    def test_as_dict_is_json_shaped(self):
+        reg = MetricRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        reg.observe("h", 0.2, bounds=(1.0,))
+        doc = reg.snapshot().as_dict()
+        assert list(doc["counters"]) == ["a", "b"]  # sorted
+        assert doc["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_empty_snapshot_accessors(self):
+        snap = MetricsSnapshot()
+        assert snap.counter("missing") == 0.0
+        assert snap.gauge("missing") is None
+        assert snap.histogram("missing") is None
+
+
+class TestPercentile:
+    def test_empty_samples_return_zero(self):
+        assert percentile([], 50) == 0.0
+        assert percentile((), 95) == 0.0
+
+    def test_nearest_rank_returns_actual_samples(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_single_sample(self):
+        assert percentile([4.2], 95) == 4.2
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_lose_nothing(self):
+        """Stress the one-lock design: N threads hammer all metric kinds.
+
+        Counters and histogram counts are exact under contention; a lost
+        update would show up as a total below N * ITERS.
+        """
+        reg = MetricRegistry()
+        n_threads, iters = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def writer(tid: int) -> None:
+            barrier.wait()
+            for i in range(iters):
+                reg.inc("stress.count")
+                reg.set_gauge("stress.gauge", float(tid))
+                reg.observe("stress.hist", i % 3, bounds=(0.0, 1.0))
+                if i % 100 == 0:
+                    reg.snapshot()  # concurrent reads must not corrupt
+
+        threads = [
+            threading.Thread(target=writer, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        snap = reg.snapshot()
+        expected = n_threads * iters
+        assert snap.counter("stress.count") == float(expected)
+        hist = snap.histogram("stress.hist")
+        assert hist.count == expected
+        assert sum(hist.counts) == expected
+        assert snap.gauge("stress.gauge") in {float(t) for t in range(n_threads)}
+
+    def test_concurrent_merge_with_writes(self):
+        reg = MetricRegistry()
+        worker = MetricRegistry()
+        worker.inc("merged", 1)
+        worker.observe("lat", 0.5, bounds=(1.0,))
+        snap = worker.snapshot()
+        rounds = 200
+
+        def merger() -> None:
+            for _ in range(rounds):
+                reg.merge(snap)
+
+        def incrementer() -> None:
+            for _ in range(rounds):
+                reg.inc("direct")
+
+        threads = [threading.Thread(target=merger) for _ in range(3)]
+        threads.append(threading.Thread(target=incrementer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        final = reg.snapshot()
+        assert final.counter("merged") == 3.0 * rounds
+        assert final.counter("direct") == float(rounds)
+        assert final.histogram("lat").count == 3 * rounds

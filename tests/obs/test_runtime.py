@@ -1,0 +1,102 @@
+"""Observability facade, REPRO_TRACE resolution, ambient recorder."""
+
+import pytest
+
+from repro.obs import (
+    ManualClock,
+    Observability,
+    env_enabled,
+    get_obs,
+    set_obs,
+    using,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_ambient():
+    """Tests below install recorders; never leak one across tests."""
+    previous = get_obs()
+    yield
+    set_obs(previous)
+
+
+class TestEnvEnabled:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert env_enabled() is False
+        assert env_enabled(default=True) is True
+
+    @pytest.mark.parametrize("raw", ["1", "true", "YES", " on "])
+    def test_truthy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert env_enabled() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "off", "", "nope"])
+    def test_falsy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert env_enabled() is False
+        # An explicit env value also overrides the default.
+        assert env_enabled(default=True) is False
+
+
+class TestObservability:
+    def test_defaults_to_wall_clock(self):
+        obs = Observability()
+        assert obs.enabled is True
+        assert obs.clock.kind == "wall"
+        assert obs.tracer.clock is obs.clock
+
+    def test_resolve_explicit_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert Observability.resolve(False).enabled is False
+        monkeypatch.delenv("REPRO_TRACE")
+        assert Observability.resolve(True).enabled is True
+
+    def test_resolve_none_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert Observability.resolve(None).enabled is True
+        monkeypatch.delenv("REPRO_TRACE")
+        assert Observability.resolve(None).enabled is False
+
+    def test_disabled_recorder_still_usable(self):
+        obs = Observability.disabled(clock=ManualClock())
+        assert obs.enabled is False
+        # Library code may record unguarded against a disabled instance;
+        # the tiny ring buffer bounds the cost.
+        obs.tracer.instant("anything")
+        obs.metrics.inc("anything")
+        assert obs.tracer.capacity == 1
+
+
+class TestAmbientRecorder:
+    def test_default_ambient_is_disabled(self):
+        assert get_obs().enabled is False
+
+    def test_using_installs_and_restores(self):
+        outer = get_obs()
+        run = Observability(clock=ManualClock())
+        with using(run) as installed:
+            assert installed is run
+            assert get_obs() is run
+        assert get_obs() is outer
+
+    def test_using_nests(self):
+        first = Observability(clock=ManualClock())
+        second = Observability(clock=ManualClock())
+        with using(first):
+            with using(second):
+                assert get_obs() is second
+            assert get_obs() is first
+
+    def test_using_restores_on_exception(self):
+        outer = get_obs()
+        with pytest.raises(RuntimeError):
+            with using(Observability(clock=ManualClock())):
+                raise RuntimeError("boom")
+        assert get_obs() is outer
+
+    def test_set_obs_returns_previous(self):
+        outer = get_obs()
+        run = Observability(clock=ManualClock())
+        assert set_obs(run) is outer
+        assert set_obs(outer) is run

@@ -1,0 +1,139 @@
+"""SpanTracer: spans, instants, ring-buffer eviction, clock wiring."""
+
+import threading
+
+import pytest
+
+from repro.obs import ManualClock, SpanTracer, VirtualClock, WallClock
+
+
+class TestRecording:
+    def test_record_span_with_explicit_times(self):
+        tracer = SpanTracer(ManualClock())
+        tracer.record_span("wq.task", start=1.0, end=3.5, track="w0", job_id="j1")
+        (event,) = tracer.events()
+        assert event.name == "wq.task"
+        assert event.kind == "span"
+        assert event.duration == 2.5
+        assert event.track == "w0"
+        assert event.attr_dict() == {"job_id": "j1"}
+
+    def test_span_rejects_negative_duration(self):
+        tracer = SpanTracer(ManualClock())
+        with pytest.raises(ValueError, match="ends"):
+            tracer.record_span("bad", start=2.0, end=1.0)
+
+    def test_instant_stamps_clock_now(self):
+        clock = ManualClock(start=10.0)
+        tracer = SpanTracer(clock)
+        tracer.instant("worker.death", track="master", worker="w3")
+        clock.advance(5.0)
+        tracer.instant("worker.death", track="master", worker="w4")
+        first, second = tracer.events()
+        assert (first.start, first.end) == (10.0, 10.0)
+        assert second.start == 15.0
+        assert first.kind == "instant"
+
+    def test_span_context_manager_brackets_block(self):
+        clock = ManualClock()
+        tracer = SpanTracer(clock)
+        with tracer.span("phase", track="system", n=3):
+            clock.advance(2.0)
+        (event,) = tracer.events()
+        assert (event.start, event.end) == (0.0, 2.0)
+        assert event.attr_dict() == {"n": 3}
+
+    def test_span_context_manager_records_on_exception(self):
+        clock = ManualClock()
+        tracer = SpanTracer(clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("phase"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        (event,) = tracer.events()
+        assert event.duration == 1.0
+
+    def test_seq_is_a_total_order(self):
+        tracer = SpanTracer(ManualClock())
+        for _ in range(5):
+            tracer.instant("tick")
+        assert [e.seq for e in tracer.events()] == [0, 1, 2, 3, 4]
+
+    def test_attrs_sorted_and_as_dict_stable(self):
+        tracer = SpanTracer(ManualClock())
+        tracer.instant("e", b=2, a=1)
+        (event,) = tracer.events()
+        assert event.attrs == (("a", 1), ("b", 2))
+        assert event.as_dict()["attrs"] == {"a": 1, "b": 2}
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        tracer = SpanTracer(ManualClock(), capacity=3)
+        for i in range(5):
+            tracer.instant(f"e{i}")
+        events = tracer.events()
+        assert [e.name for e in events] == ["e2", "e3", "e4"]
+        assert tracer.dropped == 2
+        assert tracer.recorded == 5
+
+    def test_clear_keeps_sequence_counting(self):
+        tracer = SpanTracer(ManualClock(), capacity=2)
+        tracer.instant("a")
+        tracer.instant("b")
+        tracer.instant("c")  # evicts "a"
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.dropped == 0
+        tracer.instant("d")
+        assert tracer.events()[0].seq == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanTracer(ManualClock(), capacity=0)
+
+    def test_thread_safe_recording(self):
+        tracer = SpanTracer(WallClock(), capacity=10_000)
+        n_threads, iters = 6, 300
+
+        def recorder(tid: int) -> None:
+            for i in range(iters):
+                tracer.instant("tick", track=f"t{tid}", i=i)
+
+        threads = [
+            threading.Thread(target=recorder, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        events = tracer.events()
+        assert len(events) == n_threads * iters
+        assert sorted(e.seq for e in events) == list(range(n_threads * iters))
+
+
+class TestClocks:
+    def test_manual_clock_only_moves_forward(self):
+        clock = ManualClock(start=1.0)
+        assert clock.advance(0.5) == 1.5
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_virtual_clock_reads_duck_typed_source(self):
+        class Sim:
+            now = 42.0
+
+        clock = VirtualClock(Sim())
+        assert clock.kind == "virtual"
+        assert clock.now() == 42.0
+
+    def test_virtual_clock_rejects_sources_without_now(self):
+        with pytest.raises(TypeError, match="now"):
+            VirtualClock(object())
+
+    def test_wall_clock_is_monotonic(self):
+        clock = WallClock()
+        assert clock.kind == "wall"
+        assert clock.now() <= clock.now()
