@@ -3,7 +3,9 @@
 Compares a fresh ``BENCH_parallel.json`` (written by
 ``benchmarks/bench_parallel_backend.py``) against the committed baseline
 and exits non-zero when the process backend's batch-TD throughput has
-regressed by more than the allowed factor at any measured worker count.
+regressed by more than the allowed factor at any measured worker count,
+or — when the baseline records a ``dispatch_comparison`` section — when
+either dispatch mode (``per_claim`` / ``sharded``) has.
 
 Usage::
 
@@ -91,10 +93,33 @@ def main(argv: list[str] | None = None) -> int:
         )
         if now < floor:
             failures.append(workers)
+
+    # Dispatch-mode gate: only when the committed baseline carries the
+    # section (older baselines predate sharded dispatch).
+    baseline_dispatch = baseline.get("dispatch_comparison", {})
+    current_dispatch = current.get("dispatch_comparison", {})
+    for mode in ("per_claim", "sharded"):
+        base = baseline_dispatch.get(mode, {}).get("throughput_rps")
+        if base is None:
+            continue
+        now = current_dispatch.get(mode, {}).get("throughput_rps")
+        if now is None:
+            print(f"  dispatch {mode}: missing throughput_rps", file=sys.stderr)
+            failures.append(f"dispatch:{mode}")
+            continue
+        floor = base / factor
+        verdict = "ok" if now >= floor else "REGRESSED"
+        print(
+            f"  dispatch {mode}: {now:>10.1f} rps  (baseline {base:.1f}, "
+            f"floor {floor:.1f})  {verdict}"
+        )
+        if now < floor:
+            failures.append(f"dispatch:{mode}")
+
     if failures:
         print(
-            f"perf-smoke: throughput regressed >{factor:.1f}x at worker "
-            f"count(s) {', '.join(failures)}",
+            f"perf-smoke: throughput regressed >{factor:.1f}x at "
+            f"{', '.join(failures)}",
             file=sys.stderr,
         )
         return 1

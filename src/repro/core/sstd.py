@@ -35,7 +35,9 @@ import numpy as np
 from repro.core.acs import ACSConfig, SlidingWindowACS, acs_sequence
 from repro.core.types import Report, TruthEstimate, TruthValue
 from repro.devtools import contracts
+from repro.hmm.batch import BatchGaussianHMM, stack_ragged
 from repro.hmm.gaussian import GaussianHMM
+from repro.hmm.utils import normalize_rows
 from repro.obs import get_obs
 
 __all__ = [
@@ -44,6 +46,7 @@ __all__ = [
     "SSTD",
     "SSTDConfig",
     "StreamingSSTD",
+    "batch_fit_decode",
     "states_to_truth",
 ]
 
@@ -66,6 +69,13 @@ class SSTDConfig:
         decode_online: When True, estimates use forward filtering (only
             past observations); when False, full Viterbi smoothing.
         seed: Seed for EM emission initialization.
+        batch_claims: When True (default), :meth:`SSTD.discover` runs
+            all claims through the batched multi-claim kernel
+            (:class:`repro.hmm.batch.BatchGaussianHMM`) — one vectorized
+            time recursion over the whole claim stack instead of a
+            Python loop per claim.  Results are bit-identical either
+            way; False keeps the per-claim loop (cheaper for a single
+            short claim, and a useful differential-testing switch).
     """
 
     acs: ACSConfig = field(default_factory=ACSConfig)
@@ -75,6 +85,7 @@ class SSTDConfig:
     sticky_prior: float = 0.98
     decode_online: bool = False
     seed: int = 7
+    batch_claims: bool = True
 
     def __post_init__(self) -> None:
         if self.em_max_iter < 1:
@@ -96,6 +107,10 @@ class ClaimDecodeResult:
     values: tuple[TruthValue, ...]
     estimates: tuple[TruthEstimate, ...]
     used_hmm: bool
+    #: The trained per-claim model (None on the fallback paths); carried
+    #: so streaming callers can keep filtering incrementally after a
+    #: batched fit.
+    hmm: GaussianHMM | None = field(default=None, compare=False, repr=False)
 
 
 def _sign_fallback(
@@ -138,73 +153,102 @@ def states_to_truth(hmm: GaussianHMM, states: np.ndarray) -> list[TruthValue]:
     return [state_truth[s] for s in states]
 
 
-class ClaimTruthModel:
-    """Per-claim HMM wrapper: train on an ACS sequence, decode truth."""
+def batch_fit_decode(
+    items: Sequence[tuple[str, np.ndarray, np.ndarray]],
+    config: SSTDConfig,
+) -> list[ClaimDecodeResult]:
+    """Fit and decode many claims through one batched kernel invocation.
 
-    def __init__(self, claim_id: str, config: SSTDConfig) -> None:
-        self.claim_id = claim_id
-        self.config = config
-        self.hmm: GaussianHMM | None = None
-
-    def _build_hmm(self) -> GaussianHMM:
-        p = self.config.sticky_prior
-        transmat = np.array([[p, 1.0 - p], [1.0 - p, p]])
-        return GaussianHMM(n_states=2, transmat=transmat)
-
-    def fit_decode(
-        self, times: np.ndarray, acs_values: np.ndarray
-    ) -> ClaimDecodeResult:
-        """Train the claim HMM and decode its truth sequence.
-
-        Falls back to the ACS sign rule when the sequence has too few
-        informative windows or no variation for EM to separate states.
-        """
+    ``items`` holds ``(claim_id, times, acs_values)`` triples; results
+    come back in the same order.  Degenerate claims (too few informative
+    windows, or no variation) take the sign-rule fallback exactly like
+    the per-claim path; the rest are NaN-padded into one ragged stack
+    and trained/decoded by :class:`repro.hmm.batch.BatchGaussianHMM` —
+    the emission matrix is evaluated once per claim and reused for the
+    decode and the posterior pass.  The kernel is row-deterministic, so
+    each claim's result is bit-identical no matter how claims are
+    grouped into batches (a shard of 4 and a serial N=1 call agree
+    exactly); this is what keeps the sharded distributed backends and
+    the serial engine interchangeable.
+    """
+    obs = get_obs()
+    results: list[ClaimDecodeResult | None] = []
+    hmm_items: list[int] = []
+    for claim_id, times, acs_values in items:
+        times = np.asarray(times, dtype=float)
+        acs_values = np.asarray(acs_values, dtype=float)
         if times.size != acs_values.size:
             raise ValueError(
                 f"times ({times.size}) and ACS ({acs_values.size}) differ"
             )
         if times.size == 0:
-            return ClaimDecodeResult(
-                claim_id=self.claim_id,
-                times=times,
-                values=(),
-                estimates=(),
-                used_hmm=False,
+            results.append(
+                ClaimDecodeResult(
+                    claim_id=claim_id,
+                    times=times,
+                    values=(),
+                    estimates=(),
+                    used_hmm=False,
+                )
             )
+            continue
         informative = acs_values[~np.isnan(acs_values)]
         degenerate = (
-            informative.size < self.config.min_observations
+            informative.size < config.min_observations
             or float(np.ptp(informative)) < 1e-9
         )
-        obs = get_obs()
         if degenerate:
             if obs.enabled:
                 obs.metrics.inc("sstd.claims_fallback")
-            return _sign_fallback(self.claim_id, times, acs_values)
+            results.append(_sign_fallback(claim_id, times, acs_values))
+            continue
+        results.append(None)
+        hmm_items.append(len(results) - 1)
+    if not hmm_items:
+        return results  # type: ignore[return-value]
 
-        fit_start = obs.clock.now()
-        hmm = self._build_hmm()
-        fit_result = hmm.fit(
-            acs_values,
-            max_iter=self.config.em_max_iter,
-            tol=self.config.em_tol,
-            rng=self.config.seed,
-        )
-        self.hmm = hmm
+    fit_start = obs.clock.now()
+    sequences = [
+        np.asarray(items[index][2], dtype=float) for index in hmm_items
+    ]
+    observations, lengths, order = stack_ragged(sequences)
+    p = config.sticky_prior
+    transmat = np.array([[p, 1.0 - p], [1.0 - p, p]])
+    kernel = BatchGaussianHMM(len(sequences), n_states=2, transmat=transmat)
+    fit_results = kernel.fit(
+        observations,
+        lengths,
+        max_iter=config.em_max_iter,
+        tol=config.em_tol,
+        seed=config.seed,
+    )
+    # One emission evaluation feeds the forward-backward pass, the
+    # decode, and the posteriors — the per-claim path used to pay for it
+    # three more times after EM.
+    emissions = kernel.emission_probabilities(observations)
+    alpha, scales, _ = kernel.forward(emissions, lengths)
+    if config.decode_online:
+        states_stack = kernel.filter_states(alpha)
+    else:
+        states_stack, _ = kernel.viterbi(emissions, lengths)
+    beta = kernel.backward(emissions, scales, lengths)
+    posteriors_stack = normalize_rows(alpha * beta)
 
-        if self.config.decode_online:
-            states = hmm.filter_states(acs_values)
-        else:
-            states, _ = hmm.decode(acs_values)
-        posteriors = hmm.state_posteriors(acs_values)
+    for row, source in enumerate(order):
+        index = hmm_items[source]
+        claim_id, times, acs_values = items[index]
+        times = np.asarray(times, dtype=float)
+        length = int(lengths[row])
+        states = states_stack[row, :length]
+        posteriors = posteriors_stack[row, :length]
         contracts.assert_probability_simplex(
-            posteriors, f"state posteriors of claim {self.claim_id}"
+            posteriors, f"state posteriors of claim {claim_id}"
         )
-
+        hmm = kernel.extract(row)
         values = tuple(states_to_truth(hmm, states))
         estimates = tuple(
             TruthEstimate(
-                claim_id=self.claim_id,
+                claim_id=claim_id,
                 timestamp=float(t),
                 value=v,
                 confidence=float(posteriors[k, states[k]]),
@@ -213,23 +257,53 @@ class ClaimTruthModel:
         )
         if obs.enabled:
             obs.metrics.inc("sstd.claims_hmm")
-            obs.tracer.record_span(
-                "sstd.fit_decode",
-                start=fit_start,
-                end=obs.clock.now(),
-                track="sstd",
-                claim_id=self.claim_id,
-                n_observations=int(times.size),
-                iterations=fit_result.iterations,
-                reason=fit_result.convergence_reason,
-            )
-        return ClaimDecodeResult(
-            claim_id=self.claim_id,
+        results[index] = ClaimDecodeResult(
+            claim_id=claim_id,
             times=times,
             values=values,
             estimates=estimates,
             used_hmm=True,
+            hmm=hmm,
         )
+    if obs.enabled:
+        obs.tracer.record_span(
+            "sstd.batch_fit",
+            start=fit_start,
+            end=obs.clock.now(),
+            track="sstd",
+            n_claims=len(items),
+            n_hmm=len(hmm_items),
+            n_observations=int(lengths.sum()),
+            iterations=max(r.iterations for r in fit_results),
+        )
+    return results  # type: ignore[return-value]
+
+
+class ClaimTruthModel:
+    """Per-claim HMM wrapper: train on an ACS sequence, decode truth."""
+
+    def __init__(self, claim_id: str, config: SSTDConfig) -> None:
+        self.claim_id = claim_id
+        self.config = config
+        self.hmm: GaussianHMM | None = None
+
+    def fit_decode(
+        self, times: np.ndarray, acs_values: np.ndarray
+    ) -> ClaimDecodeResult:
+        """Train the claim HMM and decode its truth sequence.
+
+        Falls back to the ACS sign rule when the sequence has too few
+        informative windows or no variation for EM to separate states.
+        Delegates to :func:`batch_fit_decode` with a batch of one, so a
+        claim decoded alone is bit-identical to the same claim decoded
+        inside any shard.
+        """
+        (result,) = batch_fit_decode(
+            [(self.claim_id, times, acs_values)], self.config
+        )
+        if result.hmm is not None:
+            self.hmm = result.hmm
+        return result
 
 
 class SSTD:
@@ -249,6 +323,10 @@ class SSTD:
 
     def __init__(self, config: SSTDConfig | None = None) -> None:
         self.config = config or SSTDConfig()
+        #: Per-claim decode results of the most recent :meth:`discover`
+        #: call (plus any later :meth:`discover_claim` calls); cleared at
+        #: the start of each ``discover`` run so repeated runs on one
+        #: engine do not accumulate stale claims without bound.
         self.results: dict[str, ClaimDecodeResult] = {}
 
     def group_reports(
@@ -282,13 +360,32 @@ class SSTD:
         start: float | None = None,
         end: float | None = None,
     ) -> list[TruthEstimate]:
-        """Run SSTD over all claims in ``reports``; returns all estimates."""
+        """Run SSTD over all claims in ``reports``; returns all estimates.
+
+        With ``config.batch_claims`` (the default) every claim's ACS
+        sequence goes through one :func:`batch_fit_decode` call — the
+        EM/decode time recursions run once over the whole claim stack.
+        ``self.results`` is cleared first, so it always reflects exactly
+        this run.
+        """
         grouped = self.group_reports(reports)
+        self.results.clear()
         estimates: list[TruthEstimate] = []
+        if not self.config.batch_claims:
+            for claim_id in sorted(grouped):
+                result = self.discover_claim(
+                    claim_id, grouped[claim_id], start=start, end=end
+                )
+                estimates.extend(result.estimates)
+            return estimates
+        items = []
         for claim_id in sorted(grouped):
-            result = self.discover_claim(
-                claim_id, grouped[claim_id], start=start, end=end
+            times, values = acs_sequence(
+                grouped[claim_id], self.config.acs, start=start, end=end
             )
+            items.append((claim_id, times, values))
+        for result in batch_fit_decode(items, self.config):
+            self.results[result.claim_id] = result
             estimates.extend(result.estimates)
         return estimates
 

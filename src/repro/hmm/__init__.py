@@ -7,9 +7,13 @@ Public surface:
 - :class:`~repro.hmm.discrete.DiscreteHMM` -- categorical emissions.
 - :class:`~repro.hmm.gaussian.GaussianHMM` -- univariate Gaussian
   emissions (used by SSTD on ACS sequences).
+- :class:`~repro.hmm.batch.BatchGaussianHMM` -- the same Gaussian model
+  over a stack of N independent sequences at once (SSTD's batched
+  multi-claim kernel).
 """
 
 from repro.hmm.base import BaseHMM, FitResult
+from repro.hmm.batch import BatchGaussianHMM, stack_ragged
 from repro.hmm.discrete import DiscreteHMM
 from repro.hmm.gaussian import GaussianHMM
 from repro.hmm.selection import (
@@ -23,6 +27,7 @@ from repro.hmm.selection import (
 
 __all__ = [
     "BaseHMM",
+    "BatchGaussianHMM",
     "DiscreteHMM",
     "FitResult",
     "GaussianHMM",
@@ -32,4 +37,5 @@ __all__ = [
     "bic",
     "n_parameters",
     "select_n_states",
+    "stack_ragged",
 ]

@@ -196,30 +196,50 @@ class BaseHMM(abc.ABC):
             beta[t] /= scales[t + 1]
         return beta
 
-    def log_likelihood(self, observations: np.ndarray) -> float:
-        """Log P(observations | model)."""
+    def log_likelihood(
+        self,
+        observations: np.ndarray,
+        emissions: np.ndarray | None = None,
+    ) -> float:
+        """Log P(observations | model).
+
+        ``emissions`` lets a caller that already evaluated the emission
+        matrix (one ``_emission_probabilities`` call feeds decode,
+        posteriors, and scoring) pass it in instead of recomputing it.
+        """
         observations = self._validate_observations(observations)
-        emissions = self._emission_probabilities(observations)
+        if emissions is None:
+            emissions = self._emission_probabilities(observations)
         _, _, logprob = self._forward(emissions)
         return logprob
 
-    def state_posteriors(self, observations: np.ndarray) -> np.ndarray:
+    def state_posteriors(
+        self,
+        observations: np.ndarray,
+        emissions: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Posterior P(state_t = i | observations), shape ``(T, n)``."""
         observations = self._validate_observations(observations)
-        emissions = self._emission_probabilities(observations)
+        if emissions is None:
+            emissions = self._emission_probabilities(observations)
         alpha, scales, _ = self._forward(emissions)
         beta = self._backward(emissions, scales)
         gamma = alpha * beta
         return normalize_rows(gamma)
 
-    def decode(self, observations: np.ndarray) -> tuple[np.ndarray, float]:
+    def decode(
+        self,
+        observations: np.ndarray,
+        emissions: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, float]:
         """Viterbi decoding (paper Eq. (6)-(8)).
 
         Returns ``(states, log_joint)``: the most probable hidden-state
         sequence and its joint log-probability with the observations.
         """
         observations = self._validate_observations(observations)
-        emissions = self._emission_probabilities(observations)
+        if emissions is None:
+            emissions = self._emission_probabilities(observations)
         log_emissions = log_mask_zero(np.maximum(emissions, 0.0))
         log_trans = log_mask_zero(self.transmat)
         log_start = log_mask_zero(self.startprob)
@@ -241,7 +261,11 @@ class BaseHMM(abc.ABC):
             states[t] = backpointer[t + 1, states[t + 1]]
         return states, float(delta[-1, states[-1]])
 
-    def filter_states(self, observations: np.ndarray) -> np.ndarray:
+    def filter_states(
+        self,
+        observations: np.ndarray,
+        emissions: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Online (filtering) state estimates: argmax_i alpha_t(i).
 
         Unlike Viterbi this uses only observations up to ``t`` for the
@@ -249,7 +273,8 @@ class BaseHMM(abc.ABC):
         before the sequence is complete.
         """
         observations = self._validate_observations(observations)
-        emissions = self._emission_probabilities(observations)
+        if emissions is None:
+            emissions = self._emission_probabilities(observations)
         alpha, _, _ = self._forward(emissions)
         return np.argmax(alpha, axis=1)
 

@@ -1,0 +1,514 @@
+"""Batched multi-claim Gaussian-HMM kernels.
+
+SSTD decomposes truth discovery per claim (paper Section III-E), but the
+per-claim implementation pays the Python interpreter once per *timestep
+per claim per EM iteration*: ``BaseHMM._forward`` / ``_backward`` are
+O(T) Python loops over tiny ``(K,)`` vectors.  This module runs the same
+recursions over a *stack* of N independent claim sequences at once: the
+time recursion stays O(T), but each step becomes one ``(N, K)`` einsum
+against the per-claim ``(N, K, K)`` transition stack, amortizing the
+interpreter cost across all claims in the batch.
+
+Semantics are pinned to the per-claim path:
+
+- **Missing observations** (``NaN``) get emission likelihood 1 for every
+  state, exactly like :class:`repro.hmm.gaussian.GaussianHMM`.
+- **Ragged stacks**: sequences of different lengths batch together.  The
+  stack is NaN-padded to the longest sequence and must be sorted by
+  length descending; at timestep ``t`` only the prefix of rows still
+  inside their sequence participates, so padding never enters any
+  recursion or reduction.
+- **Per-claim convergence freezing**: Baum-Welch drops a claim out of
+  the E-step the iteration its log-likelihood plateaus; the remaining
+  claims keep iterating.  Each claim gets its own
+  :class:`~repro.hmm.base.FitResult`.
+- **Row-wise determinism**: every per-claim quantity is computed either
+  elementwise or as a reduction over that claim's own contiguous slice,
+  so a claim's result is bit-identical no matter which batch it rides in
+  (a shard of 4 and a batch of 32 agree exactly).  Reductions whose
+  order matters (log-likelihoods, xi sums, emission sufficient
+  statistics) therefore run per row, never across padding.
+
+Only the time recursions are batched; initialisation and the emission
+M-step replicate :class:`~repro.hmm.gaussian.GaussianHMM` line for line
+(tested against it) because they are O(N) per iteration, not O(N * T).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devtools import contracts
+from repro.hmm.base import FitResult, _record_fit
+from repro.hmm.gaussian import MIN_VARIANCE, GaussianHMM
+from repro.hmm.utils import (
+    PROB_FLOOR,
+    batch_normal_densities,
+    log_mask_zero,
+    normalize_rows,
+)
+
+__all__ = ["BatchGaussianHMM", "stack_ragged"]
+
+
+def stack_ragged(
+    sequences: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack 1-D sequences into a NaN-padded, length-sorted matrix.
+
+    Returns ``(observations, lengths, order)``: ``observations[i]`` is
+    ``sequences[order[i]]`` padded with NaN to the longest length,
+    ``lengths[i]`` its true length, and ``order`` the stable permutation
+    sorting the input by length descending (the layout
+    :class:`BatchGaussianHMM` requires).  Undo with
+    ``result[order[i]] -> original position``.
+    """
+    if not sequences:
+        raise ValueError("need at least one sequence")
+    arrays = [np.asarray(seq, dtype=float) for seq in sequences]
+    for arr in arrays:
+        if arr.ndim != 1:
+            raise ValueError(f"sequences must be 1-D, got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            raise ValueError("observation sequence is empty")
+    sizes = np.array([arr.shape[0] for arr in arrays])
+    order = np.argsort(-sizes, kind="stable")
+    t_max = int(sizes.max())
+    observations = np.full((len(arrays), t_max), np.nan)
+    for row, src in enumerate(order):
+        observations[row, : sizes[src]] = arrays[src]
+    return observations, sizes[order], order
+
+
+class BatchGaussianHMM:
+    """N independent K-state Gaussian HMMs advanced in lockstep.
+
+    Parameters are stacked per sequence: ``startprob`` is ``(N, K)``,
+    ``transmat`` ``(N, K, K)``, ``means`` / ``variances`` ``(N, K)``.
+    Scalars-per-model inputs (a single ``(K,)`` / ``(K, K)``) broadcast
+    to every row, which is how SSTD seeds all claims with the same
+    sticky prior before EM specialises them.
+
+    Observations are ``(N, T)`` stacks; pass ``lengths`` (sorted
+    descending) for ragged stacks, else every row spans the full T.
+    """
+
+    def __init__(
+        self,
+        n_seqs: int,
+        n_states: int = 2,
+        startprob: np.ndarray | None = None,
+        transmat: np.ndarray | None = None,
+        means: np.ndarray | None = None,
+        variances: np.ndarray | None = None,
+    ) -> None:
+        if n_seqs < 1:
+            raise ValueError(f"n_seqs must be >= 1, got {n_seqs}")
+        if n_states < 1:
+            raise ValueError(f"n_states must be >= 1, got {n_states}")
+        self.n_seqs = n_seqs
+        self.n_states = n_states
+        if startprob is None:
+            startprob = np.full(n_states, 1.0 / n_states)
+        if transmat is None:
+            transmat = np.full((n_states, n_states), 1.0 / n_states)
+        self.startprob = self._stack_param(startprob, (n_states,), "startprob")
+        self.transmat = self._stack_param(
+            transmat, (n_states, n_states), "transmat"
+        )
+        if means is None:
+            means = np.zeros(n_states)
+        if variances is None:
+            variances = np.ones(n_states)
+        self.means = self._stack_param(means, (n_states,), "means")
+        self.variances = self._stack_param(variances, (n_states,), "variances")
+        if (self.variances <= 0).any():
+            raise ValueError("variances must be strictly positive")
+
+    def _stack_param(
+        self, value: np.ndarray, row_shape: tuple[int, ...], name: str
+    ) -> np.ndarray:
+        """Broadcast a shared parameter to all rows, or validate a stack."""
+        value = np.asarray(value, dtype=float)
+        if value.shape == row_shape:
+            return np.tile(value, (self.n_seqs,) + (1,) * len(row_shape))
+        if value.shape == (self.n_seqs,) + row_shape:
+            return value.copy()
+        raise ValueError(
+            f"{name} must have shape {row_shape} or "
+            f"{(self.n_seqs,) + row_shape}, got {value.shape}"
+        )
+
+    # ------------------------------------------------------------------
+    # Observation plumbing
+    # ------------------------------------------------------------------
+    def _validate(
+        self, observations: np.ndarray, lengths: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        observations = np.asarray(observations, dtype=float)
+        if observations.ndim != 2:
+            raise ValueError(
+                f"observations must be (N, T), got shape {observations.shape}"
+            )
+        if observations.shape[0] != self.n_seqs:
+            raise ValueError(
+                f"expected {self.n_seqs} rows, got {observations.shape[0]}"
+            )
+        if observations.shape[1] == 0:
+            raise ValueError("observation sequences are empty")
+        if np.isinf(observations).any():
+            raise ValueError("observations must not be infinite")
+        if lengths is None:
+            lengths = np.full(self.n_seqs, observations.shape[1], dtype=int)
+        else:
+            lengths = np.asarray(lengths, dtype=int)
+            if lengths.shape != (self.n_seqs,):
+                raise ValueError(
+                    f"lengths must have shape ({self.n_seqs},), "
+                    f"got {lengths.shape}"
+                )
+            if (lengths < 1).any() or (lengths > observations.shape[1]).any():
+                raise ValueError("lengths must be in [1, T]")
+            if (np.diff(lengths) > 0).any():
+                raise ValueError(
+                    "rows must be sorted by length descending "
+                    "(see stack_ragged)"
+                )
+        return observations, lengths
+
+    @staticmethod
+    def _active_counts(lengths: np.ndarray, t_max: int) -> np.ndarray:
+        """``counts[t]`` = rows whose sequence extends past timestep t.
+
+        Rows are sorted by length descending, so the active rows at any
+        timestep form a prefix of the stack.
+        """
+        return (lengths[:, None] > np.arange(t_max)[None, :]).sum(axis=0)
+
+    def emission_probabilities(self, observations: np.ndarray) -> np.ndarray:
+        """Emission stack ``(N, T, K)``; NaN rows get likelihood 1."""
+        observations = np.asarray(observations, dtype=float)
+        missing = np.isnan(observations)
+        filled = np.where(missing, 0.0, observations)
+        densities = batch_normal_densities(filled, self.means, self.variances)
+        densities[missing] = 1.0
+        return densities
+
+    # ------------------------------------------------------------------
+    # Inference kernels
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        emissions: np.ndarray,
+        lengths: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Scaled forward pass over the stack.
+
+        Returns ``(alpha, scales, log_likelihoods)``; padded cells hold
+        the neutral values ``1/K`` / ``1.0`` and are never read by the
+        recursions.  Log-likelihoods are summed per row over the row's
+        own slice, so they match the per-claim pass bit for bit.
+        """
+        n_seqs, t_max, k = emissions.shape
+        counts = self._active_counts(lengths, t_max)
+        alpha = np.full((n_seqs, t_max, k), 1.0 / k)
+        scales = np.ones((n_seqs, t_max))
+        first = self.startprob * emissions[:, 0, :]
+        total = first.sum(axis=1)
+        dead = total == 0
+        alpha[:, 0, :] = np.where(
+            dead[:, None], 1.0 / k, first / np.where(dead, 1.0, total)[:, None]
+        )
+        scales[:, 0] = np.where(dead, PROB_FLOOR, total)
+        for t in range(1, t_max):
+            m = counts[t]
+            if m == 0:
+                break
+            nxt = (
+                np.einsum(
+                    "nk,nkj->nj", alpha[:m, t - 1, :], self.transmat[:m]
+                )
+                * emissions[:m, t, :]
+            )
+            total = nxt.sum(axis=1)
+            dead = total == 0
+            alpha[:m, t, :] = np.where(
+                dead[:, None],
+                1.0 / k,
+                nxt / np.where(dead, 1.0, total)[:, None],
+            )
+            scales[:m, t] = np.where(dead, PROB_FLOOR, total)
+        log_scales = log_mask_zero(scales)
+        log_likelihoods = np.array(
+            [
+                float(log_scales[row, : lengths[row]].sum())
+                for row in range(n_seqs)
+            ]
+        )
+        return alpha, scales, log_likelihoods
+
+    def backward(
+        self,
+        emissions: np.ndarray,
+        scales: np.ndarray,
+        lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Scaled backward pass matching :meth:`forward`'s scaling."""
+        n_seqs, t_max, k = emissions.shape
+        counts = self._active_counts(lengths, t_max)
+        beta = np.ones((n_seqs, t_max, k))
+        for t in range(t_max - 2, -1, -1):
+            # Rows whose final timestep is t+1 keep beta[t+1] = 1; the
+            # recursion only applies where the sequence extends past t+1.
+            m = counts[t + 1]
+            if m == 0:
+                continue
+            tail = emissions[:m, t + 1, :] * beta[:m, t + 1, :]
+            beta[:m, t, :] = (
+                np.einsum("nij,nj->ni", self.transmat[:m], tail)
+                / scales[:m, t + 1][:, None]
+            )
+        return beta
+
+    def viterbi(
+        self,
+        emissions: np.ndarray,
+        lengths: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched log-space Viterbi.
+
+        Returns ``(states, log_joints)``: ``states[n, :lengths[n]]`` is
+        row n's most probable hidden path (padding is 0) and
+        ``log_joints[n]`` its joint log-probability.
+        """
+        n_seqs, t_max, k = emissions.shape
+        counts = self._active_counts(lengths, t_max)
+        log_emissions = log_mask_zero(np.maximum(emissions, 0.0))
+        log_trans = log_mask_zero(self.transmat)
+        log_start = log_mask_zero(self.startprob)
+
+        delta = np.zeros((n_seqs, t_max, k))
+        backpointer = np.zeros((n_seqs, t_max, k), dtype=int)
+        delta[:, 0, :] = log_start + log_emissions[:, 0, :]
+        for t in range(1, t_max):
+            m = counts[t]
+            if m == 0:
+                break
+            # candidates[n, i, j] = delta[n, t-1, i] + log A_n[i, j]
+            candidates = delta[:m, t - 1, :, None] + log_trans[:m]
+            best = np.argmax(candidates, axis=1)
+            backpointer[:m, t, :] = best
+            delta[:m, t, :] = (
+                np.take_along_axis(candidates, best[:, None, :], axis=1)[
+                    :, 0, :
+                ]
+                + log_emissions[:m, t, :]
+            )
+
+        rows = np.arange(n_seqs)
+        last = lengths - 1
+        states = np.zeros((n_seqs, t_max), dtype=int)
+        states[rows, last] = np.argmax(delta[rows, last, :], axis=1)
+        for t in range(t_max - 2, -1, -1):
+            m = counts[t + 1]
+            if m == 0:
+                continue
+            states[:m, t] = backpointer[
+                np.arange(m), t + 1, states[:m, t + 1]
+            ]
+        log_joints = delta[rows, last, states[rows, last]]
+        return states, log_joints
+
+    def filter_states(self, alpha: np.ndarray) -> np.ndarray:
+        """Online state estimates: per-row ``argmax_i alpha[n, t, i]``."""
+        return np.argmax(alpha, axis=2)
+
+    def state_posteriors(
+        self,
+        observations: np.ndarray,
+        lengths: np.ndarray | None = None,
+        emissions: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Posterior stack ``P(state_t = i | row n)``, shape ``(N, T, K)``."""
+        observations, lengths = self._validate(observations, lengths)
+        if emissions is None:
+            emissions = self.emission_probabilities(observations)
+        alpha, scales, _ = self.forward(emissions, lengths)
+        beta = self.backward(emissions, scales, lengths)
+        return normalize_rows(alpha * beta)
+
+    def decode(
+        self,
+        observations: np.ndarray,
+        lengths: np.ndarray | None = None,
+        emissions: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Viterbi-decode every row; see :meth:`viterbi`."""
+        observations, lengths = self._validate(observations, lengths)
+        if emissions is None:
+            emissions = self.emission_probabilities(observations)
+        return self.viterbi(emissions, lengths)
+
+    def extract(self, row: int) -> GaussianHMM:
+        """Materialise row ``row`` as a standalone :class:`GaussianHMM`."""
+        return GaussianHMM(
+            self.n_states,
+            startprob=self.startprob[row],
+            transmat=self.transmat[row],
+            means=self.means[row],
+            variances=self.variances[row],
+        )
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _init_emissions(
+        self, observations: np.ndarray, lengths: np.ndarray, seed
+    ) -> None:
+        """Quantile initialisation, one fresh RNG per row.
+
+        Replicates :meth:`GaussianHMM._init_emissions` per row with
+        ``default_rng(seed)`` re-created per claim, exactly like the
+        per-claim engine seeds each claim's fit.
+        """
+        quantiles = np.linspace(0.0, 1.0, self.n_states + 2)[1:-1]
+        for row in range(self.n_seqs):
+            values = observations[row, : lengths[row]]
+            present = values[~np.isnan(values)]
+            if present.size == 0:
+                raise ValueError(
+                    "cannot initialize from all-missing observations"
+                )
+            means = np.quantile(present, quantiles)
+            spread = float(np.var(present))
+            if spread < MIN_VARIANCE:
+                spread = 1.0
+                rng = np.random.default_rng(seed)
+                means = means + rng.normal(0.0, 0.1, size=self.n_states)
+            self.means[row] = means
+            self.variances[row] = np.full(
+                self.n_states, max(spread, MIN_VARIANCE)
+            )
+
+    def _update_emissions_row(
+        self,
+        row: int,
+        values: np.ndarray,
+        gamma: np.ndarray,
+    ) -> None:
+        """Emission M-step for one row (GaussianHMM._update_emissions)."""
+        present = ~np.isnan(values)
+        gamma = gamma[present]
+        values = values[present]
+        if values.size == 0:
+            return
+        weights = gamma.sum(axis=0)
+        safe = np.where(weights > 0, weights, 1.0)
+        means = (gamma * values[:, None]).sum(axis=0) / safe
+        diff = values[:, None] - means[None, :]
+        variances = (gamma * diff**2).sum(axis=0) / safe
+        keep = weights <= 0
+        means[keep] = self.means[row][keep]
+        variances[keep] = self.variances[row][keep]
+        self.means[row] = means
+        self.variances[row] = np.maximum(variances, MIN_VARIANCE)
+
+    def _check_contracts(self, where: str) -> None:
+        contracts.assert_probability_simplex(
+            self.startprob, f"batch startprob ({where})"
+        )
+        contracts.assert_probability_simplex(
+            self.transmat, f"batch transmat ({where})"
+        )
+        contracts.assert_finite(self.means, f"batch means ({where})")
+        contracts.assert_finite(self.variances, f"batch variances ({where})")
+
+    def fit(
+        self,
+        observations: np.ndarray,
+        lengths: np.ndarray | None = None,
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        seed=None,
+        init: bool = True,
+    ) -> list[FitResult]:
+        """Baum-Welch over the stack with per-row convergence freezing.
+
+        Each row trains its own chain; a row whose log-likelihood
+        improvement drops below ``tol`` is frozen (its parameters stop
+        updating, it leaves the E-step) while the rest keep iterating,
+        exactly matching N independent per-claim ``fit`` calls.
+        """
+        observations, lengths = self._validate(observations, lengths)
+        if init:
+            self._init_emissions(observations, lengths, seed)
+
+        histories: list[list[float]] = [[] for _ in range(self.n_seqs)]
+        converged = np.zeros(self.n_seqs, dtype=bool)
+        active = np.arange(self.n_seqs)
+        k = self.n_states
+        for _ in range(max_iter):
+            self._check_contracts("Baum-Welch E-step")
+            obs_a = observations[active]
+            len_a = lengths[active]
+            t_max = int(len_a[0])
+            obs_a = obs_a[:, :t_max]
+            sub = BatchGaussianHMM(
+                active.size,
+                k,
+                startprob=self.startprob[active],
+                transmat=self.transmat[active],
+                means=self.means[active],
+                variances=self.variances[active],
+            )
+            emissions = sub.emission_probabilities(obs_a)
+            alpha, scales, log_likelihoods = sub.forward(emissions, len_a)
+            beta = sub.backward(emissions, scales, len_a)
+            gamma = normalize_rows(alpha * beta)
+
+            # xi[n, i, j]: elementwise product is batched, the
+            # order-sensitive time reduction runs on each row's own
+            # contiguous slice (bit-equal to the per-claim sum).
+            if t_max > 1:
+                xi_num = (
+                    alpha[:, :-1, :, None]
+                    * sub.transmat[:, None, :, :]
+                    * (emissions[:, 1:, :] * beta[:, 1:, :])[:, :, None, :]
+                )
+            xi_sum = np.zeros((active.size, k, k))
+            for idx in range(active.size):
+                steps = int(len_a[idx]) - 1
+                if steps > 0:
+                    xi_sum[idx] = xi_num[idx, :steps].sum(axis=0)
+
+            # M-step (chain parameters batched, emissions per row).
+            self.startprob[active] = normalize_rows(
+                gamma[:, 0, :] + PROB_FLOOR
+            )
+            self.transmat[active] = normalize_rows(xi_sum + PROB_FLOOR)
+            for idx, row in enumerate(active):
+                stop = int(len_a[idx])
+                self._update_emissions_row(
+                    row, obs_a[idx, :stop], gamma[idx, :stop]
+                )
+
+            for idx, row in enumerate(active):
+                history = histories[row]
+                history.append(float(log_likelihoods[idx]))
+                if len(history) > 1 and abs(history[-1] - history[-2]) < tol:
+                    converged[row] = True
+            active = active[~converged[active]]
+            if active.size == 0:
+                break
+        self._check_contracts("Baum-Welch M-step")
+        results = [
+            FitResult(
+                log_likelihoods=tuple(histories[row]),
+                converged=bool(converged[row]),
+                iterations=len(histories[row]),
+            )
+            for row in range(self.n_seqs)
+        ]
+        for result in results:
+            _record_fit(result)
+        return results

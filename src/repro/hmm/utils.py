@@ -15,6 +15,7 @@ import numpy as np
 __all__ = [
     "LOG_2PI",
     "PROB_FLOOR",
+    "batch_normal_densities",
     "log_mask_zero",
     "normal_densities",
     "normal_log_densities",
@@ -118,3 +119,34 @@ def normal_densities(
 ) -> np.ndarray:
     """Gaussian density matrix, ``exp`` of :func:`normal_log_densities`."""
     return np.exp(normal_log_densities(values, means, variances))
+
+
+def batch_normal_densities(
+    values: np.ndarray, means: np.ndarray, variances: np.ndarray
+) -> np.ndarray:
+    """Per-sequence Gaussian density stack ``D[n, t, i]``.
+
+    ``values`` is a ``(N, T)`` stack of observation sequences and
+    ``means`` / ``variances`` hold one ``(N, K)`` parameter set per
+    sequence; the result is ``(N, T, K)`` with
+    ``D[n, t, i] = N(values[n, t]; means[n, i], variances[n, i])``.
+    Every arithmetic step is the elementwise operation of
+    :func:`normal_log_densities`, so each row matches the per-sequence
+    call bit for bit.
+    """
+    values = np.asarray(values, dtype=float)
+    means = np.asarray(means, dtype=float)
+    variances = np.asarray(variances, dtype=float)
+    if (variances <= 0).any() or not np.isfinite(variances).all():
+        raise ValueError(
+            f"variances must be strictly positive and finite, got {variances!r}"
+        )
+    diff = values[:, :, None] - means[:, None, :]
+    return np.exp(
+        -0.5
+        * (
+            LOG_2PI
+            + np.log(variances)[:, None, :]
+            + diff**2 / variances[:, None, :]
+        )
+    )

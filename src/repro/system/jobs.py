@@ -13,14 +13,17 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.core.acs import acs_sequence
-from repro.core.sstd import ClaimTruthModel, SSTDConfig
+from repro.core.sstd import ClaimTruthModel, SSTDConfig, batch_fit_decode
 from repro.core.types import Report, TruthEstimate
 from repro.workqueue.task import PayloadSpec, Task
 
 __all__ = [
     "TDJob",
     "decode_claim_payload",
+    "decode_shard_payload",
     "decode_task_spec",
+    "shard_task_spec",
+    "streaming_push_payload",
 ]
 
 
@@ -58,6 +61,59 @@ def decode_task_spec(
     )
 
 
+def decode_shard_payload(
+    claims: tuple[tuple[str, tuple[Report, ...]], ...],
+    config: SSTDConfig,
+    start: float | None = None,
+    end: float | None = None,
+) -> tuple[tuple[str, tuple[TruthEstimate, ...]], ...]:
+    """Run the TD pipeline for a *shard* of claims in one task.
+
+    One Work Queue task per claim pays pickle + dispatch + spawn
+    overhead per claim; a shard amortizes that over many claims and
+    feeds them all to one :func:`repro.core.sstd.batch_fit_decode` call,
+    so the EM/decode recursions are batched too.  Returns one
+    ``(claim_id, estimates)`` pair per claim — callers track progress
+    per claim, not per task.  The batched kernel is row-deterministic,
+    so shard composition never changes any claim's estimates.
+    """
+    items = []
+    for claim_id, reports in claims:
+        times, values = acs_sequence(
+            reports, config.acs, start=start, end=end
+        )
+        items.append((claim_id, times, values))
+    results = batch_fit_decode(items, config)
+    return tuple((result.claim_id, result.estimates) for result in results)
+
+
+def shard_task_spec(
+    claims: Sequence[tuple[str, Sequence[Report]]],
+    config: SSTDConfig,
+    start: float | None = None,
+    end: float | None = None,
+) -> PayloadSpec:
+    """Picklable payload spec for a multi-claim Truth Discovery shard."""
+    frozen = tuple(
+        (claim_id, tuple(reports)) for claim_id, reports in claims
+    )
+    return PayloadSpec(decode_shard_payload, (frozen, config, start, end))
+
+
+def streaming_push_payload(
+    streaming: Any, reports: Sequence[Report]
+) -> None:
+    """Feed one task's report chunk into a streaming engine.
+
+    Module-level so interval-mode tasks can carry it as a
+    :class:`~repro.workqueue.task.PayloadSpec` (the SSTD009 discipline)
+    instead of a closure over the engine.
+    """
+    for report in reports:
+        streaming.push(report)
+    return None
+
+
 @dataclass
 class TDJob:
     """One claim's truth-discovery job.
@@ -90,13 +146,18 @@ class TDJob:
     def make_tasks(
         self,
         reports: Sequence[Report],
-        payload: Callable[[Sequence[Report]], Any] | None = None,
+        payload: Callable[..., Any] | None = None,
+        payload_args: Sequence[Any] = (),
     ) -> list[Task]:
         """Split one batch of reports into Work Queue tasks.
 
         Data is divided equally between the job's tasks (Section IV-C4).
-        ``payload`` receives each task's slice of reports; its return
-        value becomes the task output.
+        ``payload`` must be a module-level callable (the
+        :class:`~repro.workqueue.task.PayloadSpec` discipline — closures
+        cannot cross a process boundary); each task carries
+        ``PayloadSpec(payload, (*payload_args, chunk))``, so the task's
+        report chunk arrives as the final argument and its return value
+        becomes the task output.
         """
         self.reports_seen += len(reports)
         self.batches_submitted += 1
@@ -117,8 +178,7 @@ class TDJob:
         for chunk in chunks:
             fn = None
             if payload is not None:
-                # Bind the chunk now; late binding in a loop is a classic bug.
-                fn = (lambda data: lambda: payload(data))(chunk)
+                fn = PayloadSpec(payload, (*payload_args, tuple(chunk)))
             tasks.append(
                 Task(job_id=self.job_id, data_size=float(len(chunk)), fn=fn)
             )

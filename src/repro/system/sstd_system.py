@@ -20,6 +20,8 @@ Two entry points:
 from __future__ import annotations
 
 import collections
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -34,7 +36,12 @@ from repro.obs import Observability, VirtualClock, using
 from repro.streams.trace import Trace
 from repro.system.deadline import DeadlineTracker
 from repro.system.dtm import DTMConfig, DynamicTaskManager
-from repro.system.jobs import TDJob, decode_task_spec
+from repro.system.jobs import (
+    TDJob,
+    decode_task_spec,
+    shard_task_spec,
+    streaming_push_payload,
+)
 from repro.workqueue.local import LocalWorkQueue
 from repro.workqueue.master import WorkQueueMaster
 from repro.workqueue.pool import ElasticWorkerPool
@@ -52,6 +59,21 @@ __all__ = [
 #: Execution substrates: virtual-time simulation, GIL-shared threads,
 #: or real OS processes (one Python interpreter per worker).
 BACKENDS = ("simulated", "threads", "processes")
+
+
+def _shard_job_id(shard: Sequence[str]) -> str:
+    """Stable Work Queue job id for a shard of claims."""
+    if len(shard) == 1:
+        return shard[0]
+    return f"{shard[0]}..{shard[-1]}"
+
+
+def _effective_cores() -> int:
+    """Cores this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,10 +103,24 @@ class SSTDSystemConfig:
             (:class:`~repro.workqueue.local.LocalWorkQueue`), or
             ``"processes"``
             (:class:`~repro.workqueue.process.ProcessWorkQueue`, real
-            cores).  The real backends run the per-claim
-            ``ClaimTruthModel.fit_decode`` payloads on wall time; the
-            PID control plane and failure injection only apply to the
-            simulated backend.
+            cores).  The real backends run batched
+            ``decode_shard_payload`` tasks on wall time; the PID control
+            plane and failure injection only apply to the simulated
+            backend.
+        claims_per_shard: How many claims each real-backend Work Queue
+            task covers.  One task per claim (``1``) pays pickle +
+            dispatch + interpreter overhead per claim; a shard amortizes
+            it and lets the claims share one batched HMM kernel
+            invocation, whose per-timestep cost is flat in batch width —
+            wider shards are strictly cheaper compute.  ``None``
+            (default) auto-sizes to one shard per usable execution lane
+            (``min(n_workers, available cores)``): slicing finer than
+            the hardware's parallelism only multiplies the kernel's
+            O(T) interpreter cost without adding concurrency.  Shard
+            composition never changes estimates (the batched kernel is
+            row-deterministic), so this is purely a throughput knob.
+            The simulated backend keeps one job per claim: jobs are the
+            unit its control loop steers.
         drain_timeout: Wall-clock cap (seconds) on one ``drain`` of the
             real backends before the run aborts with ``TimeoutError``.
         observability: Record spans and metrics for the run (exposed on
@@ -110,6 +146,7 @@ class SSTDSystemConfig:
     backend: str = "simulated"
     drain_timeout: float = 600.0
     observability: bool | None = None
+    claims_per_shard: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -118,6 +155,8 @@ class SSTDSystemConfig:
             raise ValueError("deadline must be > 0")
         if self.tasks_per_job < 1:
             raise ValueError("tasks_per_job must be >= 1")
+        if self.claims_per_shard is not None and self.claims_per_shard < 1:
+            raise ValueError("claims_per_shard must be >= 1 (or None for auto)")
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
@@ -128,7 +167,11 @@ class SSTDSystemConfig:
 
 @dataclass(frozen=True, slots=True)
 class BatchRunResult:
-    """Outcome of a batch run."""
+    """Outcome of a batch run.
+
+    On the real backends claims are dispatched in shards, so ``n_tasks``
+    (shards executed) can be smaller than ``n_jobs`` (claims decoded).
+    """
 
     estimates: tuple[TruthEstimate, ...]
     makespan: float
@@ -298,17 +341,26 @@ class DistributedSSTD:
     # ------------------------------------------------------------------
     # Real backends (threads / processes)
     # ------------------------------------------------------------------
-    def _make_executor(self) -> LocalWorkQueue | ProcessWorkQueue:
-        """The wall-time executor selected by ``config.backend``."""
+    def _make_executor(
+        self, n_workers: int | None = None
+    ) -> LocalWorkQueue | ProcessWorkQueue:
+        """The wall-time executor selected by ``config.backend``.
+
+        ``n_workers`` caps the pool below the configured size when the
+        run has fewer tasks than workers — a worker that can never
+        receive a task only costs spawn time.
+        """
         self.obs = Observability.resolve(self.config.observability)
+        if n_workers is None:
+            n_workers = self.config.n_workers
         if self.config.backend == "threads":
             return LocalWorkQueue(
-                n_workers=self.config.n_workers,
+                n_workers=n_workers,
                 rng=self.config.seed,
                 obs=self.obs,
             )
         return ProcessWorkQueue(
-            n_workers=self.config.n_workers,
+            n_workers=n_workers,
             rng=self.config.seed,
             obs=self.obs,
         )
@@ -325,32 +377,66 @@ class DistributedSSTD:
                 f"{failed[0].job_id!r}: {first}{detail}"
             )
 
+    def _claims_per_shard(self, n_claims: int) -> int:
+        """Resolve the shard size: explicit config or one shard per lane.
+
+        A lane is an execution slot that can really run concurrently —
+        ``min(n_workers, cores this process may use)``.  The batched
+        kernel's per-timestep interpreter cost is flat in batch width,
+        so splitting a lane's claims into several shards multiplies
+        that cost for no extra parallelism; one maximal shard per lane
+        is the throughput optimum.
+        """
+        if self.config.claims_per_shard is not None:
+            return self.config.claims_per_shard
+        lanes = max(1, min(self.config.n_workers, _effective_cores()))
+        return max(1, math.ceil(n_claims / lanes))
+
+    @staticmethod
+    def _make_shards(
+        claim_ids: Sequence[str], per_shard: int
+    ) -> list[list[str]]:
+        """Contiguous shards of sorted claims, each ``per_shard`` wide."""
+        return [
+            list(claim_ids[i : i + per_shard])
+            for i in range(0, len(claim_ids), per_shard)
+        ]
+
     def _run_batch_real(
         self,
         reports: Sequence[Report],
         start: float | None,
         end: float | None,
     ) -> BatchRunResult:
-        """Batch mode on a real executor: one fit_decode task per claim.
+        """Batch mode on a real executor: one task per *shard* of claims.
 
-        ``tasks_per_job`` does not apply here — ``fit_decode`` is an
-        indivisible unit of real compute, so each claim is exactly one
-        task (the paper's recommended small-task-count regime anyway).
+        ``tasks_per_job`` does not apply here — a claim's decode is an
+        indivisible unit of real compute.  Claims are grouped into
+        shards of ``claims_per_shard`` (auto ≈ two shards per worker);
+        each task runs one ``decode_shard_payload``, so its claims share
+        one batched kernel invocation and one round of pickle/dispatch
+        overhead.
         """
         config = self.config
         grouped = SSTD(config.sstd).group_reports(reports)
-        executor = self._make_executor()
+        claim_ids = sorted(grouped)
+        shards = self._make_shards(
+            claim_ids, self._claims_per_shard(len(claim_ids))
+        )
+        n_workers = min(config.n_workers, max(1, len(shards)))
+        executor = self._make_executor(n_workers)
         clock_start = self.obs.clock.now()
         try:
             with using(self.obs):
-                for claim_id in sorted(grouped):
+                for shard in shards:
                     executor.submit(
                         Task(
-                            job_id=claim_id,
-                            data_size=float(len(grouped[claim_id])),
-                            fn=decode_task_spec(
-                                claim_id,
-                                grouped[claim_id],
+                            job_id=_shard_job_id(shard),
+                            data_size=float(
+                                sum(len(grouped[c]) for c in shard)
+                            ),
+                            fn=shard_task_spec(
+                                [(c, grouped[c]) for c in shard],
                                 config.sstd,
                                 start,
                                 end,
@@ -368,7 +454,7 @@ class DistributedSSTD:
                 start=clock_start,
                 end=submitted_at,
                 track="system",
-                n_tasks=len(grouped),
+                n_tasks=len(shards),
             )
             self.obs.tracer.record_span(
                 "system.run_batch",
@@ -383,8 +469,8 @@ class DistributedSSTD:
 
         estimates: list[TruthEstimate] = []
         for result in results:
-            if result.output:
-                estimates.extend(result.output)
+            for _claim_id, claim_estimates in result.output or ():
+                estimates.extend(claim_estimates)
         estimates.sort(key=lambda e: (e.claim_id, e.timestamp))
         return BatchRunResult(
             estimates=tuple(estimates),
@@ -392,8 +478,8 @@ class DistributedSSTD:
             n_jobs=len(grouped),
             n_tasks=len(results),
             total_busy_time=sum(r.wall_time for r in results),
-            worker_count=config.n_workers,
-            peak_worker_count=config.n_workers,
+            worker_count=n_workers,
+            peak_worker_count=n_workers,
         )
 
     def _run_intervals_real(
@@ -405,10 +491,14 @@ class DistributedSSTD:
     ) -> IntervalRunResult:
         """Interval replay on a real executor.
 
-        Each interval submits one fit_decode task per claim that received
-        new reports, over the claim's cumulative history (the batch-mode
-        payload), and measures the wall-clock time for the interval's
-        work to drain.  Claims without new data are not re-decoded.
+        Each interval re-decodes every claim that received new reports,
+        over the claim's cumulative history.  Claims are dispatched in
+        ``claims_per_shard`` shards (one ``decode_shard_payload`` task
+        each), and the wall-clock time for the interval's shards to
+        drain is recorded.  Claims without new data are not re-decoded,
+        and each claim's estimates are emitted at most once — the
+        ``emitted_until`` watermark is tracked per claim, not per task,
+        so shard composition never duplicates or drops an estimate.
         """
         config = self.config
         tracker = DeadlineTracker(deadline=deadline)
@@ -436,15 +526,21 @@ class DistributedSSTD:
 
                 interval_start = self.obs.clock.now()
                 with using(self.obs):
-                    for claim_id in sorted(by_claim):
+                    claim_ids = sorted(by_claim)
+                    for claim_id in claim_ids:
                         history[claim_id].extend(by_claim[claim_id])
+                    shards = self._make_shards(
+                        claim_ids, self._claims_per_shard(len(claim_ids))
+                    )
+                    for shard in shards:
                         executor.submit(
                             Task(
-                                job_id=claim_id,
-                                data_size=float(len(history[claim_id])),
-                                fn=decode_task_spec(
-                                    claim_id,
-                                    history[claim_id],
+                                job_id=_shard_job_id(shard),
+                                data_size=float(
+                                    sum(len(history[c]) for c in shard)
+                                ),
+                                fn=shard_task_spec(
+                                    [(c, history[c]) for c in shard],
                                     config.sstd,
                                     trace.start,
                                     hi,
@@ -465,13 +561,16 @@ class DistributedSSTD:
                 self._check_failures(results)
                 if compute_estimates:
                     for result in results:
-                        since = emitted_until.get(result.job_id, float("-inf"))
-                        estimates.extend(
-                            e
-                            for e in (result.output or ())
-                            if since < e.timestamp <= hi
-                        )
-                        emitted_until[result.job_id] = hi
+                        for claim_id, claim_estimates in result.output or ():
+                            since = emitted_until.get(
+                                claim_id, float("-inf")
+                            )
+                            estimates.extend(
+                                e
+                                for e in claim_estimates
+                                if since < e.timestamp <= hi
+                            )
+                            emitted_until[claim_id] = hi
                 tracker.record(index, len(batch), execution_time)
         finally:
             executor.shutdown()
@@ -553,12 +652,14 @@ class DistributedSSTD:
                     jobs[claim_id] = job
                     dtm.register_job(job)
                 payload = None
+                payload_args: tuple = ()
                 if streaming is not None:
-                    def payload(chunk, s=streaming):
-                        for report in chunk:
-                            s.push(report)
-                        return None
-                for task in job.make_tasks(by_claim[claim_id], payload):
+                    payload = streaming_push_payload
+                    payload_args = (streaming,)
+                tasks = job.make_tasks(
+                    by_claim[claim_id], payload, payload_args
+                )
+                for task in tasks:
                     master.submit(task)
 
             with using(self.obs):

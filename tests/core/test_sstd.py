@@ -1,5 +1,7 @@
 """Tests for the SSTD truth discovery engine."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -129,6 +131,25 @@ class TestBatchSSTD:
         engine = SSTD(FAST_CONFIG)
         engine.discover(flip_scenario())
         assert engine.results["c1"].used_hmm
+
+    def test_results_cleared_between_discover_calls(self):
+        engine = SSTD(FAST_CONFIG)
+        engine.discover(flip_scenario(claim_id="old"))
+        assert set(engine.results) == {"old"}
+        engine.discover(flip_scenario(claim_id="new", seed=2))
+        # A fresh discover() describes only its own batch; results from
+        # earlier runs must not accumulate.
+        assert set(engine.results) == {"new"}
+
+    def test_batched_discover_matches_per_claim_loop(self):
+        reports = flip_scenario(claim_id="a") + flip_scenario(
+            claim_id="b", seed=9, n_reports=700
+        )
+        batched = SSTD(FAST_CONFIG).discover(reports)
+        per_claim = SSTD(
+            dataclasses.replace(FAST_CONFIG, batch_claims=False)
+        ).discover(reports)
+        assert batched == per_claim
 
 
 class TestSignFallback:

@@ -56,12 +56,23 @@ class TestBatchParity:
         assert outcome.makespan > 0
 
     def test_real_backend_accounting(self, small_trace):
-        config = SSTDSystemConfig(n_workers=2, backend="threads")
+        config = SSTDSystemConfig(
+            n_workers=2, backend="threads", claims_per_shard=2
+        )
         outcome = DistributedSSTD(config).run_batch(list(small_trace.reports))
-        assert outcome.n_tasks == outcome.n_jobs
+        # 6 claims in shards of 2 -> 3 tasks covering all 6 jobs.
+        assert outcome.n_jobs == 6
+        assert outcome.n_tasks == 3
         assert outcome.worker_count == 2
         assert outcome.peak_worker_count == 2
         assert outcome.total_busy_time > 0
+
+    def test_one_task_per_claim_when_shard_is_one(self, small_trace):
+        config = SSTDSystemConfig(
+            n_workers=2, backend="threads", claims_per_shard=1
+        )
+        outcome = DistributedSSTD(config).run_batch(list(small_trace.reports))
+        assert outcome.n_tasks == outcome.n_jobs == 6
 
 
 class TestIntervalsReal:

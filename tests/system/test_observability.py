@@ -32,6 +32,10 @@ def small_trace():
 
 
 def _run(small_trace, backend: str, **overrides) -> DistributedSSTD:
+    # One claim per shard keeps "task" == "claim" on every machine, so
+    # the span/metric counts below stay exact (auto-sharding adapts to
+    # the host's core count and would make them host-dependent).
+    overrides.setdefault("claims_per_shard", 1)
     config = SSTDSystemConfig(
         n_workers=2, backend=backend, observability=True, **overrides
     )

@@ -1,0 +1,134 @@
+"""Acceptance: sharded batched dispatch decodes identical truth sequences.
+
+The PR-5 hard constraint — claim-sharded, batch-kernel execution must
+produce exactly the estimates of the per-claim serial engine, on every
+backend and for every shard size.  Shard composition is a throughput
+knob, never a semantics knob.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.sstd import SSTD, SSTDConfig
+from repro.streams.events import PopulationConfig, ScenarioSpec
+from repro.streams.generator import GeneratorConfig, generate_trace
+from repro.system.jobs import (
+    decode_claim_payload,
+    decode_shard_payload,
+    shard_task_spec,
+)
+from repro.system import sstd_system
+from repro.system.sstd_system import BACKENDS, DistributedSSTD, SSTDSystemConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    spec = ScenarioSpec(
+        name="shard-parity",
+        duration=3600.0,
+        n_reports=500,
+        n_claims=7,
+        claim_texts=("the road is flooded",),
+        topic="test",
+        mean_truth_flips=1.0,
+        population=PopulationConfig(n_sources=60),
+    )
+    return generate_trace(spec, seed=11, config=GeneratorConfig(with_text=False))
+
+
+@pytest.fixture(scope="module")
+def per_claim_serial(trace):
+    # The reference semantics: the serial engine with batching disabled,
+    # one claim at a time through the scalar kernel.
+    engine = SSTD(SSTDConfig(batch_claims=False))
+    estimates = engine.discover(list(trace.reports))
+    estimates.sort(key=lambda e: (e.claim_id, e.timestamp))
+    return estimates
+
+
+class TestShardResolver:
+    def test_explicit_value_wins(self):
+        system = DistributedSSTD(
+            SSTDSystemConfig(n_workers=4, claims_per_shard=5)
+        )
+        assert system._claims_per_shard(32) == 5
+
+    def test_auto_targets_one_shard_per_lane(self, monkeypatch):
+        monkeypatch.setattr(sstd_system, "_effective_cores", lambda: 4)
+        system = DistributedSSTD(SSTDSystemConfig(n_workers=4))
+        assert system._claims_per_shard(32) == 8  # 4 lanes -> 4 shards
+        assert system._claims_per_shard(3) == 1
+        assert system._claims_per_shard(0) == 1
+
+    def test_auto_never_slices_finer_than_the_hardware(self, monkeypatch):
+        # 8 configured workers on a 2-core host: 2 lanes, 2 shards —
+        # extra shards would multiply kernel overhead with no extra
+        # concurrency.
+        monkeypatch.setattr(sstd_system, "_effective_cores", lambda: 2)
+        system = DistributedSSTD(SSTDSystemConfig(n_workers=8))
+        assert system._claims_per_shard(32) == 16
+
+    def test_shard_slicing_covers_all_claims(self):
+        shards = DistributedSSTD._make_shards(["a", "b", "c", "d", "e"], 2)
+        assert shards == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_config_rejects_nonpositive_shard(self):
+        with pytest.raises(ValueError, match="claims_per_shard"):
+            SSTDSystemConfig(claims_per_shard=0)
+
+
+class TestShardPayload:
+    def test_spec_survives_pickle(self, trace):
+        grouped = SSTD().group_reports(list(trace.reports))
+        claims = [(cid, grouped[cid]) for cid in sorted(grouped)][:3]
+        spec = shard_task_spec(claims, SSTDConfig())
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone() == spec()
+
+    def test_shard_output_concatenates_per_claim_payloads(self, trace):
+        grouped = SSTD().group_reports(list(trace.reports))
+        config = SSTDConfig()
+        claims = [(cid, tuple(grouped[cid])) for cid in sorted(grouped)]
+        sharded = decode_shard_payload(tuple(claims), config)
+        assert [cid for cid, _ in sharded] == sorted(grouped)
+        for claim_id, estimates in sharded:
+            assert estimates == decode_claim_payload(
+                claim_id, tuple(grouped[claim_id]), config
+            )
+
+
+class TestShardParityAcrossBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("claims_per_shard", [1, None])
+    def test_matches_per_claim_serial_engine(
+        self, backend, claims_per_shard, trace, per_claim_serial
+    ):
+        config = SSTDSystemConfig(
+            n_workers=2, backend=backend, claims_per_shard=claims_per_shard
+        )
+        outcome = DistributedSSTD(config).run_batch(list(trace.reports))
+        assert list(outcome.estimates) == per_claim_serial
+
+    @pytest.mark.parametrize("claims_per_shard", [2, 100])
+    def test_shard_size_never_changes_estimates(
+        self, claims_per_shard, trace, per_claim_serial
+    ):
+        config = SSTDSystemConfig(
+            n_workers=2, backend="threads", claims_per_shard=claims_per_shard
+        )
+        outcome = DistributedSSTD(config).run_batch(list(trace.reports))
+        assert list(outcome.estimates) == per_claim_serial
+
+    def test_sharded_interval_replay_matches_per_claim(self, trace):
+        base = SSTDSystemConfig(n_workers=2, backend="threads", deadline=30.0)
+        sharded = DistributedSSTD(base).run_intervals(
+            trace, n_intervals=3, compute_estimates=True
+        )
+        per_claim = DistributedSSTD(
+            dataclasses.replace(base, claims_per_shard=1)
+        ).run_intervals(trace, n_intervals=3, compute_estimates=True)
+        assert sharded.estimates == per_claim.estimates
+        seen = [(e.claim_id, e.timestamp) for e in sharded.estimates]
+        assert len(seen) == len(set(seen))
