@@ -308,18 +308,25 @@ def _add_lint(subparsers: argparse._SubParsersAction) -> None:
             "__all__ declarations, SSTD007 guarded-state escapes, "
             "SSTD008 blocking under a lock, SSTD009 payload "
             "picklability, SSTD010 thread/process lifecycle, SSTD011 "
-            "clock reads via the repro.obs Clock protocol. Suppress a "
-            "finding with a trailing '# noqa: SSTD###' comment; stale "
-            "suppressions are flagged as SSTD000."
+            "clock reads via the repro.obs Clock protocol, SSTD012 "
+            "lock-order deadlock cycles, SSTD013 kernel determinism. "
+            "Suppress a finding with a trailing '# noqa: SSTD###' "
+            "comment; stale suppressions are flagged as SSTD000."
         ),
     )
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files/directories (default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json", "github"),
+    parser.add_argument("--format", choices=("text", "json", "github",
+                                             "sarif"),
                         default="text",
                         help="report format (default: text)")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids, e.g. SSTD003,SSTD004")
+    parser.add_argument("--changed-only", default=None, metavar="REF",
+                        help="lint only files changed vs REF plus their "
+                        "call-graph dependents")
+    parser.add_argument("--noqa-budget", type=int, default=None, metavar="N",
+                        help="fail when more than N noqa comments exist")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the .lint_cache/ result cache")
     parser.add_argument("--no-stale-noqa", action="store_true",
@@ -327,6 +334,11 @@ def _add_lint(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--json-report", type=Path, default=None,
                         metavar="FILE",
                         help="additionally write the JSON report to FILE")
+    parser.add_argument("--sarif-report", type=Path, default=None,
+                        metavar="FILE",
+                        help="additionally write a SARIF 2.1.0 log to FILE")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache hit rates to stderr")
     parser.add_argument("--list-rules", action="store_true",
                         help="print registered rules and exit")
     parser.set_defaults(func=_run_lint)
@@ -339,12 +351,20 @@ def _run_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.select:
         argv += ["--select", args.select]
+    if args.changed_only is not None:
+        argv += ["--changed-only", args.changed_only]
+    if args.noqa_budget is not None:
+        argv += ["--noqa-budget", str(args.noqa_budget)]
     if args.no_cache:
         argv.append("--no-cache")
     if args.no_stale_noqa:
         argv.append("--no-stale-noqa")
     if args.json_report is not None:
         argv += ["--json-report", str(args.json_report)]
+    if args.sarif_report is not None:
+        argv += ["--sarif-report", str(args.sarif_report)]
+    if args.stats:
+        argv.append("--stats")
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)

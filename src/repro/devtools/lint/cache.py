@@ -1,11 +1,22 @@
 """Content-hash result cache for the SSTD lint engine.
 
 Linting is pure: findings are a function of (engine + rules, flags,
-file path, file content).  The cache keys on exactly that — a sha256
-over a fingerprint of the lint package's own sources, the selected
-rule ids, the audit flags, the file's path, and the file's bytes — so
-a cache entry can never serve stale findings: editing either the file
-*or any lint rule* changes the key.
+file path, file content, and — since the analysis went whole-program —
+the content of every module in the file's dependency closure).  The
+findings cache keys on exactly that: a sha256 over a fingerprint of
+the lint package's own sources, the selected rule ids, the audit
+flags, the file's path, the file's bytes, and the dependency-closure
+digest the call-graph layer computes.  Editing the file, any lint
+rule, *or any module it (transitively) calls into* changes the key, so
+an entry can never serve stale findings.
+
+A second, independent namespace caches the per-module **summaries**
+(:class:`repro.devtools.lint.callgraph.ModuleInfo` payloads).  Those
+are deliberately local — canonicalized against the module's own
+imports but unresolved across modules — so their key needs only the
+module's content hash; cross-module invalidation is the findings
+cache's job.  A warm summary cache means an unchanged file is not even
+parsed.
 
 Entries live as small JSON files under ``.lint_cache/`` (git-ignored).
 Every failure mode — unreadable file, corrupt entry, read-only cache
@@ -17,11 +28,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.devtools.lint.engine import Finding
 
-__all__ = ["DEFAULT_CACHE_DIR", "LintCache"]
+__all__ = ["CacheEntry", "DEFAULT_CACHE_DIR", "LintCache"]
 
 DEFAULT_CACHE_DIR = Path(".lint_cache")
 
@@ -31,8 +43,9 @@ _fingerprint: str | None = None
 def _package_fingerprint() -> str:
     """Digest of the lint package's own sources (computed once).
 
-    Any edit to the engine, the flow walker, or a rule module changes
-    the fingerprint and therefore invalidates every cached entry.
+    Any edit to the engine, the flow walker, the call-graph layer, or
+    a rule module changes the fingerprint and therefore invalidates
+    every cached entry — findings and summaries alike.
     """
     global _fingerprint
     if _fingerprint is None:
@@ -46,13 +59,28 @@ def _package_fingerprint() -> str:
     return _fingerprint
 
 
+@dataclass(slots=True)
+class CacheEntry:
+    """Findings plus the bookkeeping the deferred noqa audit needs."""
+
+    findings: list[Finding]
+    #: line -> rule ids a suppression on that line silenced.
+    silenced: dict[int, set[str]] = field(default_factory=dict)
+    #: line -> (codes or None for bare noqa, column) per noqa comment.
+    noqa: dict[int, tuple[frozenset[str] | None, int]] = field(
+        default_factory=dict
+    )
+
+
 class LintCache:
-    """File-backed findings cache keyed by content hash."""
+    """File-backed findings + summary cache keyed by content hash."""
 
     def __init__(self, root: Path = DEFAULT_CACHE_DIR) -> None:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.summary_hits = 0
+        self.summary_misses = 0
 
     def _key(
         self,
@@ -60,6 +88,7 @@ class LintCache:
         rule_ids: tuple[str, ...],
         audit_noqa: bool | None,
         source: bytes,
+        dep_digest: str = "",
     ) -> str:
         digest = hashlib.sha256()
         for part in (
@@ -67,6 +96,7 @@ class LintCache:
             ",".join(rule_ids),
             repr(audit_noqa),
             str(path),
+            dep_digest,
         ):
             digest.update(part.encode())
             digest.update(b"\0")
@@ -76,17 +106,27 @@ class LintCache:
     def _entry(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    # -- findings --------------------------------------------------------
     def get(
         self,
         path: Path,
         rule_ids: tuple[str, ...],
         audit_noqa: bool | None,
-    ) -> list[Finding] | None:
-        """Stored findings for ``path``, or ``None`` on any miss."""
+        dep_digest: str = "",
+        with_meta: bool = False,
+    ) -> "list[Finding] | CacheEntry | None":
+        """Stored findings for ``path``, or ``None`` on any miss.
+
+        ``with_meta=True`` returns the full :class:`CacheEntry`
+        (findings plus the silenced-line and noqa-comment maps the
+        deferred stale-suppression audit consumes); entries written
+        without that metadata miss, so old-format entries can never
+        skew the audit.
+        """
         try:
             source = path.read_bytes()
             raw = self._entry(
-                self._key(path, rule_ids, audit_noqa, source)
+                self._key(path, rule_ids, audit_noqa, source, dep_digest)
             ).read_text(encoding="utf-8")
             payload = json.loads(raw)
             findings = [
@@ -99,10 +139,28 @@ class LintCache:
                 )
                 for item in payload["findings"]
             ]
+            if with_meta:
+                if "silenced" not in payload or "noqa" not in payload:
+                    raise KeyError("metadata missing")
+                silenced = {
+                    int(line): {str(r) for r in rules}
+                    for line, rules in payload["silenced"].items()
+                }
+                noqa = {
+                    int(item[0]): (
+                        None
+                        if item[1] is None
+                        else frozenset(str(c) for c in item[1]),
+                        int(item[2]),
+                    )
+                    for item in payload["noqa"]
+                }
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
         self.hits += 1
+        if with_meta:
+            return CacheEntry(findings=findings, silenced=silenced, noqa=noqa)
         return findings
 
     def put(
@@ -111,15 +169,75 @@ class LintCache:
         rule_ids: tuple[str, ...],
         audit_noqa: bool | None,
         findings: list[Finding],
+        silenced: dict[int, set[str]] | None = None,
+        noqa: dict[int, tuple[frozenset[str] | None, int]] | None = None,
+        dep_digest: str = "",
     ) -> None:
         """Store findings; silently a no-op if the cache is unwritable."""
         try:
             source = path.read_bytes()
             self.root.mkdir(parents=True, exist_ok=True)
-            entry = self._entry(self._key(path, rule_ids, audit_noqa, source))
-            entry.write_text(
-                json.dumps({"findings": [f.as_dict() for f in findings]}),
-                encoding="utf-8",
+            entry = self._entry(
+                self._key(path, rule_ids, audit_noqa, source, dep_digest)
+            )
+            payload: dict[str, object] = {
+                "findings": [f.as_dict() for f in findings]
+            }
+            if silenced is not None and noqa is not None:
+                payload["silenced"] = {
+                    str(line): sorted(rules)
+                    for line, rules in silenced.items()
+                }
+                payload["noqa"] = [
+                    [
+                        line,
+                        None if codes is None else sorted(codes),
+                        col,
+                    ]
+                    for line, (codes, col) in sorted(noqa.items())
+                ]
+            entry.write_text(json.dumps(payload), encoding="utf-8")
+        except OSError:
+            return
+
+    # -- per-module summaries --------------------------------------------
+    def _summary_key(self, path: "Path | str", content_hash: str) -> str:
+        digest = hashlib.sha256()
+        for part in (
+            _package_fingerprint(),
+            "summary",
+            str(path),
+            content_hash,
+        ):
+            digest.update(part.encode())
+            digest.update(b"\0")
+        return digest.hexdigest()
+
+    def get_summary(
+        self, path: "Path | str", content_hash: str
+    ) -> dict | None:
+        """Stored ModuleInfo payload, or ``None`` on any miss."""
+        try:
+            raw = self._entry(
+                self._summary_key(path, content_hash)
+            ).read_text(encoding="utf-8")
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("bad summary payload")
+        except (OSError, ValueError):
+            self.summary_misses += 1
+            return None
+        self.summary_hits += 1
+        return payload
+
+    def put_summary(
+        self, path: "Path | str", content_hash: str, payload: dict
+    ) -> None:
+        """Store a ModuleInfo payload; no-op if the cache is unwritable."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._entry(self._summary_key(path, content_hash)).write_text(
+                json.dumps(payload), encoding="utf-8"
             )
         except OSError:
             return

@@ -1,0 +1,1048 @@
+"""Project-wide call graph and bottom-up function summaries.
+
+PR 3's flow walker (:mod:`repro.devtools.lint.flow`) is deliberately
+intraprocedural: one class at a time, one level of ``self.<helper>()``.
+That misses exactly the hazards the paper's master/worker runtime
+grows into — a blocking call reached through a module-level helper or
+a cross-class handoff (``workqueue.process`` → ``obs.metrics``), and
+any question about the *order* in which locks across classes are
+acquired.  This module closes the gap in three stages:
+
+1. **Per-module summaries** (:class:`ModuleInfo`).  Each file is
+   reduced to a serializable record: every function/method with its
+   calls (canonicalized against the file's imports but *unresolved* —
+   no other module's content is consulted, so the record is cacheable
+   by content hash alone), its lock acquisitions with the lockset held
+   at each site, its declared ``# holds-lock:`` entry locks, whether
+   it contains a *leaf* blocking call, plus per-class metadata (bases,
+   methods, lock attributes and their reentrancy, class-valued
+   attributes) and ``# lock-order:`` declarations.
+
+2. **Global resolution** (:class:`ProjectAnalysis`).  Call references
+   are resolved across modules: re-exports are followed through
+   package ``__init__`` import maps, ``Class.method`` and constructor
+   calls land on the defining class (searching bases), classmethod
+   factories (``Observability.from_env()``) resolve to the class they
+   build, and attribute chains (``self.obs.metrics.inc``) walk the
+   class-valued attribute tables.  The modules touched while resolving
+   a file's references become its *dependency closure*, whose digest
+   keys the findings cache — editing a callee invalidates its callers.
+
+3. **Bottom-up fixpoints.**  May-block (with the call chain to the
+   blocking leaf), transitive lock acquisitions (with the acquisition
+   site and chain), and the global lock-acquisition-order edge set
+   ``(held, acquired)`` that SSTD012 runs cycle detection over.
+
+Known false-negative limits (see DESIGN.md): dynamic dispatch through
+untyped values, callables stored in containers, monkey-patching, and
+locks reached through chains the attribute tables cannot type are all
+invisible; the analysis is deliberately unsound-but-useful, tuned to
+the annotation discipline this repo already enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Optional
+
+from repro.devtools.lint.engine import FileContext, module_name_for
+from repro.devtools.lint.flow import (
+    LOCK_ORDER_RE,
+    ClassFlow,
+    MethodFlow,
+    analyze_class,
+    analyze_function,
+    blocking_reason,
+)
+from repro.devtools.lint.names import ImportMap
+
+__all__ = [
+    "BlockSummary",
+    "CallRef",
+    "ClassInfo",
+    "FunctionNode",
+    "LockEdge",
+    "ModuleInfo",
+    "ProjectAnalysis",
+    "ResolvedCall",
+    "build_module_info",
+    "build_project",
+    "build_project_for_context",
+    "content_hash",
+    "match_lock",
+]
+
+#: Bump when the :class:`ModuleInfo` payload layout changes (the cache
+#: key also covers the lint package's own sources, so this is belt and
+#: braces for out-of-tree cache directories).
+SUMMARY_FORMAT = 1
+
+_FOLLOW_LIMIT = 16  # re-export chains are short; bound the walk anyway
+
+
+def match_lock(pattern: str, lock: str) -> bool:
+    """True when a ``# lock-order:`` side names ``lock``.
+
+    Locks are global ids (``repro.workqueue.process.ProcessWorkQueue.
+    _lock``); a pattern matches on equality or as a dotted suffix, so
+    annotations can say ``ProcessWorkQueue._lock`` or just ``_lock``.
+    """
+    return lock == pattern or lock.endswith("." + pattern)
+
+
+# ---------------------------------------------------------------------------
+# Serializable per-module summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CallRef:
+    """One call site, canonicalized but not yet resolved.
+
+    ``ref`` grammar:
+
+    - ``path:<dotted>`` — a plain or imported name (module function,
+      class constructor, ``Class.method``); resolution follows
+      re-exports.
+    - ``attr:<class path>.<attr chain>.<meth>`` — a method call on a
+      typed receiver (``self.<helper>``, ``self.obs.metrics.inc``, a
+      local/parameter of a known class).
+    """
+
+    ref: str
+    held: tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionNode:
+    """Summary of one function or method body."""
+
+    qualname: str
+    cls: Optional[str]
+    name: str
+    line: int
+    col: int
+    entry_locks: tuple[str, ...]
+    #: (reason, line, col) of the first *leaf* blocking call, if any.
+    block: Optional[tuple[str, int, int]]
+    calls: tuple[CallRef, ...]
+    #: (lock, held-before, line, col) per acquisition site.
+    acquisitions: tuple[tuple[str, tuple[str, ...], int, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassInfo:
+    """Metadata the resolver needs about one class."""
+
+    name: str
+    module: str
+    bases: tuple[str, ...]
+    methods: tuple[str, ...]
+    #: attr -> canonical class path (``obs`` -> ``repro.obs.Observability``).
+    attr_classes: Mapping[str, str]
+    #: lock attr -> reentrant (True = RLock, False = Lock, None = unknown).
+    locks: Mapping[str, Optional[bool]]
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Everything the project layer keeps about one module.
+
+    Built from a parsed file — or deserialized from the summary cache
+    without parsing at all.  Contains no resolved cross-module facts,
+    so a content hash of the file (plus the lint package fingerprint)
+    fully keys it.
+    """
+
+    module: str
+    path: str
+    content_hash: str
+    imports: dict[str, str]
+    functions: list[FunctionNode]
+    classes: dict[str, ClassInfo]
+    lock_decls: tuple[tuple[str, str, int], ...]
+
+    def to_payload(self) -> dict:
+        return {
+            "format": SUMMARY_FORMAT,
+            "module": self.module,
+            "path": self.path,
+            "content_hash": self.content_hash,
+            "imports": self.imports,
+            "functions": [
+                {
+                    "qualname": f.qualname,
+                    "cls": f.cls,
+                    "name": f.name,
+                    "line": f.line,
+                    "col": f.col,
+                    "entry_locks": list(f.entry_locks),
+                    "block": list(f.block) if f.block else None,
+                    "calls": [
+                        [c.ref, list(c.held), c.line, c.col] for c in f.calls
+                    ],
+                    "acquisitions": [
+                        [a[0], list(a[1]), a[2], a[3]]
+                        for a in f.acquisitions
+                    ],
+                }
+                for f in self.functions
+            ],
+            "classes": {
+                name: {
+                    "module": c.module,
+                    "bases": list(c.bases),
+                    "methods": list(c.methods),
+                    "attr_classes": dict(c.attr_classes),
+                    "locks": dict(c.locks),
+                }
+                for name, c in self.classes.items()
+            },
+            "lock_decls": [list(d) for d in self.lock_decls],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ModuleInfo":
+        if payload.get("format") != SUMMARY_FORMAT:
+            raise ValueError("summary format mismatch")
+        return cls(
+            module=str(payload["module"]),
+            path=str(payload["path"]),
+            content_hash=str(payload["content_hash"]),
+            imports={str(k): str(v) for k, v in payload["imports"].items()},
+            functions=[
+                FunctionNode(
+                    qualname=str(f["qualname"]),
+                    cls=f["cls"],
+                    name=str(f["name"]),
+                    line=int(f["line"]),
+                    col=int(f["col"]),
+                    entry_locks=tuple(f["entry_locks"]),
+                    block=tuple(f["block"]) if f["block"] else None,
+                    calls=tuple(
+                        CallRef(
+                            ref=str(c[0]),
+                            held=tuple(c[1]),
+                            line=int(c[2]),
+                            col=int(c[3]),
+                        )
+                        for c in f["calls"]
+                    ),
+                    acquisitions=tuple(
+                        (str(a[0]), tuple(a[1]), int(a[2]), int(a[3]))
+                        for a in f["acquisitions"]
+                    ),
+                )
+                for f in payload["functions"]
+            ],
+            classes={
+                str(name): ClassInfo(
+                    name=str(name),
+                    module=str(c["module"]),
+                    bases=tuple(c["bases"]),
+                    methods=tuple(c["methods"]),
+                    attr_classes=dict(c["attr_classes"]),
+                    locks={
+                        str(k): (None if v is None else bool(v))
+                        for k, v in c["locks"].items()
+                    },
+                )
+                for name, c in payload["classes"].items()
+            },
+            lock_decls=tuple(
+                (str(a), str(b), int(line))
+                for a, b, line in payload["lock_decls"]
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-module summary construction
+# ---------------------------------------------------------------------------
+
+
+def _class_effects_fixpoint(
+    ctx: FileContext, cls: ast.ClassDef
+) -> ClassFlow:
+    """Analyze a class, iterating same-class helper lock effects.
+
+    ``self._take()`` / ``self._give()`` helpers change the lockset at
+    their call sites; one ``analyze_class`` pass computes each method's
+    net effects, the next applies them, until stable (bounded — the
+    lattice of (acquired, released) pairs over a class's few locks is
+    tiny).
+    """
+    effects: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
+    flow = analyze_class(ctx, cls)
+    for _ in range(4):
+        new: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
+        for name, method in flow.methods.items():
+            acquired = method.exit_locks - method.entry_locks
+            released = method.entry_locks - method.exit_locks
+            if acquired or released:
+                new[name] = (acquired, released)
+        if new == effects:
+            break
+        effects = new
+        flow = analyze_class(ctx, cls, helper_effects=effects)
+    return flow
+
+
+class _RefBuilder:
+    """Canonicalizes call references against one module's namespace."""
+
+    def __init__(
+        self,
+        module: str,
+        imports: dict[str, str],
+        class_names: frozenset[str],
+        func_names: frozenset[str],
+    ) -> None:
+        self.module = module
+        self.imports = imports
+        self.class_names = class_names
+        self.func_names = func_names
+
+    def canon(self, text: str) -> str:
+        """Qualify a raw dotted class text against this module."""
+        root, _, rest = text.partition(".")
+        if root in self.class_names:
+            return f"{self.module}.{text}"
+        target = self.imports.get(root)
+        if target is not None:
+            return f"{target}.{rest}" if rest else target
+        return text
+
+    def ref_for(
+        self,
+        callee: Optional[str],
+        cls_name: Optional[str],
+        attr_classes: Mapping[str, str],
+        method: MethodFlow,
+    ) -> Optional[str]:
+        if not callee:
+            return None
+        root, _, rest = callee.partition(".")
+        if root == "self":
+            if not rest:
+                return None
+            first, _, chain = rest.partition(".")
+            if not chain:
+                if cls_name is None:
+                    return None
+                return f"attr:{self.module}.{cls_name}.{first}"
+            base = attr_classes.get(first)
+            if base is None:
+                return None
+            return f"attr:{self.canon(base)}.{chain}"
+        local = method.local_classes.get(root) or method.params.get(root)
+        if local is not None:
+            if not rest:
+                return None  # bare ``instance()`` — __call__, out of scope
+            return f"attr:{self.canon(local)}.{rest}"
+        if not rest:
+            if root in self.func_names or root in self.class_names:
+                return f"path:{self.module}.{root}"
+            target = self.imports.get(root)
+            return f"path:{target}" if target else None
+        if root in self.class_names:
+            return f"path:{self.module}.{callee}"
+        target = self.imports.get(root)
+        return f"path:{target}.{rest}" if target else None
+
+
+def build_module_info(
+    ctx: FileContext,
+    content_hash: str,
+    flows: Optional[dict[str, ClassFlow]] = None,
+) -> ModuleInfo:
+    """Reduce one parsed file to its serializable summary.
+
+    ``flows``, when given, is filled with the (effects-aware) per-class
+    flows computed along the way so callers can reuse them instead of
+    re-walking.
+    """
+    imports = ImportMap(ctx.tree)
+    top_classes = [
+        node for node in ctx.tree.body if isinstance(node, ast.ClassDef)
+    ]
+    top_funcs = [
+        node
+        for node in ctx.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    refs = _RefBuilder(
+        module=ctx.module,
+        imports=imports.aliases,
+        class_names=frozenset(c.name for c in top_classes),
+        func_names=frozenset(f.name for f in top_funcs),
+    )
+
+    functions: list[FunctionNode] = []
+    classes: dict[str, ClassInfo] = {}
+
+    def globalize(cls_name: str, locks: Iterable[str]) -> tuple[str, ...]:
+        return tuple(
+            sorted(f"{ctx.module}.{cls_name}.{lock}" for lock in locks)
+        )
+
+    def node_for(
+        method: MethodFlow,
+        cls_name: Optional[str],
+        attr_classes: Mapping[str, str],
+        model,
+    ) -> FunctionNode:
+        qual = (
+            f"{ctx.module}.{cls_name}.{method.name}"
+            if cls_name
+            else f"{ctx.module}.{method.name}"
+        )
+        block: Optional[tuple[str, int, int]] = None
+        calls: list[CallRef] = []
+        for event in method.calls:
+            if block is None:
+                reason = blocking_reason(event, model, method, imports)
+                if reason is not None:
+                    # The flow-layer phrasing ends with a splice comma
+                    # ("... blocks until exit,"); summaries store the
+                    # clause standalone.
+                    block = (
+                        reason.rstrip(","),
+                        event.node.lineno,
+                        event.node.col_offset,
+                    )
+            ref = refs.ref_for(event.callee, cls_name, attr_classes, method)
+            if ref is not None:
+                held = (
+                    globalize(cls_name, event.held)
+                    if cls_name
+                    else tuple(sorted(event.held))
+                )
+                calls.append(
+                    CallRef(
+                        ref=ref,
+                        held=held,
+                        line=event.node.lineno,
+                        col=event.node.col_offset,
+                    )
+                )
+        acquisitions = tuple(
+            (
+                f"{ctx.module}.{cls_name}.{acq.lock}"
+                if cls_name
+                else acq.lock,
+                globalize(cls_name, acq.held)
+                if cls_name
+                else tuple(sorted(acq.held)),
+                acq.node.lineno,
+                acq.node.col_offset,
+            )
+            for acq in method.acquires
+        )
+        entry = (
+            globalize(cls_name, method.entry_locks) if cls_name else ()
+        )
+        return FunctionNode(
+            qualname=qual,
+            cls=cls_name,
+            name=method.name,
+            line=method.node.lineno,
+            col=method.node.col_offset,
+            entry_locks=entry,
+            block=block,
+            calls=tuple(calls),
+            acquisitions=acquisitions,
+        )
+
+    for cls in top_classes:
+        flow = _class_effects_fixpoint(ctx, cls)
+        if flows is not None:
+            flows[cls.name] = flow
+        model = flow.model
+        attr_classes = {
+            attr: refs.canon(text)
+            for attr, text in model.attr_classes.items()
+        }
+        locks: dict[str, Optional[bool]] = {}
+        for lock in model.lock_names():
+            info = model.attrs.get(lock)
+            locks[lock] = (
+                info.reentrant
+                if info is not None and info.kind == "lock"
+                else None
+            )
+        classes[cls.name] = ClassInfo(
+            name=cls.name,
+            module=ctx.module,
+            bases=tuple(
+                refs.canon(text)
+                for text in (
+                    _base_text(base) for base in cls.bases
+                )
+                if text is not None
+            ),
+            methods=tuple(flow.methods),
+            attr_classes=attr_classes,
+            locks=locks,
+        )
+        for method in flow.methods.values():
+            functions.append(
+                node_for(method, cls.name, model.attr_classes, model)
+            )
+
+    for func in top_funcs:
+        method = analyze_function(ctx, func)
+        functions.append(node_for(method, None, {}, None))
+
+    decls: list[tuple[str, str, int]] = []
+    for lineno, line in enumerate(ctx.lines, start=1):
+        for match in LOCK_ORDER_RE.finditer(line):
+            decls.append((match.group(1), match.group(2), lineno))
+
+    return ModuleInfo(
+        module=ctx.module,
+        path=ctx.path,
+        content_hash=content_hash,
+        imports=dict(imports.aliases),
+        functions=functions,
+        classes=classes,
+        lock_decls=tuple(decls),
+    )
+
+
+def _base_text(base: ast.expr) -> Optional[str]:
+    from repro.devtools.lint.names import dotted_name
+
+    return dotted_name(base)
+
+
+# ---------------------------------------------------------------------------
+# Global resolution and fixpoints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BlockSummary:
+    """Why (and where, and through whom) a function may block."""
+
+    reason: str
+    chain: tuple[str, ...]
+    path: str
+    line: int
+    col: int
+
+    def describe(self) -> str:
+        if len(self.chain) <= 1:
+            return self.reason
+        return f"{self.reason} via {' -> '.join(self.chain)}"
+
+
+@dataclass(frozen=True, slots=True)
+class LockEdge:
+    """``to`` acquired while ``frm`` held, with provenance."""
+
+    frm: str
+    to: str
+    path: str
+    line: int
+    col: int
+    chain: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class ResolvedCall:
+    """A call site with its resolved target qualnames (for rules)."""
+
+    caller: str
+    targets: tuple[str, ...]
+    held: tuple[str, ...]
+    line: int
+    col: int
+
+
+class ProjectAnalysis:
+    """Resolved call graph plus bottom-up summaries for a file set."""
+
+    def __init__(
+        self,
+        modules: dict[str, ModuleInfo],
+        sources: Mapping[str, tuple[str, str]],
+    ) -> None:
+        #: module -> ModuleInfo
+        self.modules = modules
+        #: module -> (path, source); feeds lazy FileContext creation.
+        self._sources = dict(sources)
+        self._contexts: dict[str, FileContext] = {}
+        self._flows: dict[str, list[ClassFlow]] = {}
+        #: ``module.Class`` -> ClassInfo
+        self.class_index: dict[str, ClassInfo] = {}
+        #: qualname -> (module, FunctionNode)
+        self.functions: dict[str, tuple[str, FunctionNode]] = {}
+        self._func_names: dict[str, frozenset[str]] = {}
+        for module, info in modules.items():
+            names = set()
+            for fn in info.functions:
+                self.functions[fn.qualname] = (module, fn)
+                if fn.cls is None:
+                    names.add(fn.name)
+            self._func_names[module] = frozenset(names)
+            for name, cls in info.classes.items():
+                self.class_index[f"{module}.{name}"] = cls
+        #: module -> modules consulted while resolving its references.
+        self.deps: dict[str, set[str]] = {m: {m} for m in modules}
+        #: module -> resolved call sites (for the rules).
+        self._module_calls: dict[str, list[ResolvedCall]] = {
+            m: [] for m in modules
+        }
+        #: qualname -> declared entry locks (``# holds-lock:``).
+        self.entry_locks: dict[str, frozenset[str]] = {
+            q: frozenset(fn.entry_locks)
+            for q, (_, fn) in self.functions.items()
+        }
+        self._resolved: dict[str, list[tuple[CallRef, tuple[str, ...]]]] = {}
+        self._resolve_all()
+        self.blocking: dict[str, BlockSummary] = {}
+        self._blocking_fixpoint()
+        #: qualname -> lock -> (path, line, col, chain) transitive.
+        self.acquired: dict[
+            str, dict[str, tuple[str, int, int, tuple[str, ...]]]
+        ] = {}
+        self._acquire_fixpoint()
+        self.lock_edges: dict[tuple[str, str], LockEdge] = {}
+        self._build_lock_edges()
+        #: (A, B, path, line) per ``# lock-order: A < B`` declaration.
+        self.lock_decls: list[tuple[str, str, str, int]] = sorted(
+            (a, b, info.path, line)
+            for info in modules.values()
+            for (a, b, line) in info.lock_decls
+        )
+        self._digests: dict[str, str] = {}
+
+    # -- module access ---------------------------------------------------
+    def has_module(self, module: str) -> bool:
+        return module in self.modules
+
+    def context(self, module: str) -> FileContext:
+        """Parse (memoized) the module's source, project attached."""
+        ctx = self._contexts.get(module)
+        if ctx is None:
+            path, source = self._sources[module]
+            ctx = FileContext.from_source(source, path=path, module=module)
+            ctx.project = self
+            self._contexts[module] = ctx
+        return ctx
+
+    def adopt_context(self, ctx: FileContext) -> None:
+        """Reuse an already-parsed context (build-time parses)."""
+        ctx.project = self
+        self._contexts.setdefault(ctx.module, ctx)
+
+    def adopt_flows(self, module: str, flows: dict[str, ClassFlow]) -> None:
+        """Seed the flow memo with build-time per-class flows.
+
+        Only top-level classes are built eagerly; nested classes are
+        filled in lazily by :meth:`class_flows`.
+        """
+        self._build_flows = getattr(self, "_build_flows", {})
+        self._build_flows[module] = flows
+
+    def class_flows(self, module: str) -> list[ClassFlow]:
+        """Effects-aware flows for every class in the module (memoized)."""
+        cached = self._flows.get(module)
+        if cached is not None:
+            return cached
+        ctx = self.context(module)
+        prebuilt = getattr(self, "_build_flows", {}).get(module, {})
+        flows: list[ClassFlow] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            flow = prebuilt.get(node.name)
+            if flow is None or flow.node is not node:
+                flow = _class_effects_fixpoint(ctx, node)
+            flows.append(flow)
+        self._flows[module] = flows
+        return flows
+
+    def resolved_calls(self, module: str) -> list[ResolvedCall]:
+        return self._module_calls.get(module, [])
+
+    # -- name resolution -------------------------------------------------
+    def _follow(self, path: str, deps: set[str]) -> str:
+        """Follow ``from X import y`` re-export chains to a fixpoint."""
+        for _ in range(_FOLLOW_LIMIT):
+            mod, _, name = path.rpartition(".")
+            if not name or mod not in self.modules:
+                return path
+            deps.add(mod)
+            target = self.modules[mod].imports.get(name)
+            if target is None or target == path:
+                return path
+            path = target
+        return path
+
+    def resolve_class(
+        self, path: str, deps: set[str]
+    ) -> Optional[ClassInfo]:
+        path = self._follow(path, deps)
+        cls = self.class_index.get(path)
+        if cls is not None:
+            deps.add(cls.module)
+        return cls
+
+    def _instance_class(
+        self, path: str, deps: set[str]
+    ) -> Optional[ClassInfo]:
+        """Class an expression of canonical ``path`` evaluates to.
+
+        Handles the classmethod-factory idiom: ``X.from_env`` resolves
+        to ``X`` when ``from_env`` is one of ``X``'s methods.
+        """
+        cls = self.resolve_class(path, deps)
+        if cls is not None:
+            return cls
+        prefix, _, last = path.rpartition(".")
+        if not prefix:
+            return None
+        cls = self.resolve_class(prefix, deps)
+        if cls is not None and self._find_method(cls, last, deps):
+            return cls
+        return None
+
+    def _find_method(
+        self, cls: ClassInfo, meth: str, deps: set[str], _depth: int = 0
+    ) -> Optional[str]:
+        """Qualname of ``meth`` on ``cls`` or its bases, else None."""
+        if _depth > 8:
+            return None
+        if meth in cls.methods:
+            return f"{cls.module}.{cls.name}.{meth}"
+        for base in cls.bases:
+            parent = self.resolve_class(base, deps)
+            if parent is not None and parent is not cls:
+                found = self._find_method(parent, meth, deps, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def resolve_ref(self, ref: str, deps: set[str]) -> tuple[str, ...]:
+        """Qualnames a canonical reference may land on (possibly none)."""
+        kind, _, spec = ref.partition(":")
+        if kind == "path":
+            path = self._follow(spec, deps)
+            mod, _, name = path.rpartition(".")
+            if mod in self.modules and name in self._func_names[mod]:
+                deps.add(mod)
+                return (f"{mod}.{name}",)
+            cls = self.class_index.get(path)
+            if cls is not None:  # constructor call
+                deps.add(cls.module)
+                init = self._find_method(cls, "__init__", deps)
+                return (init,) if init else ()
+            prefix, _, meth = path.rpartition(".")
+            if prefix:
+                cls = self.resolve_class(prefix, deps)
+                if cls is not None:  # Class.method / classmethod
+                    found = self._find_method(cls, meth, deps)
+                    return (found,) if found else ()
+            return ()
+        if kind == "attr":
+            # <class path>.<attr chain>.<meth>; the class path itself
+            # contains dots, so peel segments off the right.
+            segments = spec.split(".")
+            for split in range(len(segments) - 1, 0, -1):
+                base = ".".join(segments[:split])
+                cls = self._instance_class(base, deps)
+                if cls is None:
+                    continue
+                chain = segments[split:]
+                for attr in chain[:-1]:
+                    nxt = cls.attr_classes.get(attr)
+                    cls = (
+                        self._instance_class(nxt, deps)
+                        if nxt is not None
+                        else None
+                    )
+                    if cls is None:
+                        break
+                if cls is None:
+                    continue
+                found = self._find_method(cls, chain[-1], deps)
+                return (found,) if found else ()
+            return ()
+        return ()
+
+    def _resolve_all(self) -> None:
+        for module in sorted(self.modules):
+            deps = self.deps[module]
+            for fn in self.modules[module].functions:
+                resolved: list[tuple[CallRef, tuple[str, ...]]] = []
+                for call in fn.calls:
+                    targets = self.resolve_ref(call.ref, deps)
+                    resolved.append((call, targets))
+                    self._module_calls[module].append(
+                        ResolvedCall(
+                            caller=fn.qualname,
+                            targets=targets,
+                            held=call.held,
+                            line=call.line,
+                            col=call.col,
+                        )
+                    )
+                self._resolved[fn.qualname] = resolved
+
+    # -- bottom-up fixpoints ---------------------------------------------
+    def _blocking_fixpoint(self) -> None:
+        for qual in sorted(self.functions):
+            module, fn = self.functions[qual]
+            if fn.block is not None:
+                reason, line, col = fn.block
+                self.blocking[qual] = BlockSummary(
+                    reason=reason,
+                    chain=(qual,),
+                    path=self.modules[module].path,
+                    line=line,
+                    col=col,
+                )
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(self.functions):
+                if qual in self.blocking:
+                    continue
+                for call, targets in self._resolved.get(qual, ()):
+                    inner = next(
+                        (
+                            self.blocking[t]
+                            for t in targets
+                            if t in self.blocking
+                        ),
+                        None,
+                    )
+                    if inner is not None:
+                        self.blocking[qual] = BlockSummary(
+                            reason=inner.reason,
+                            chain=(qual,) + inner.chain,
+                            path=inner.path,
+                            line=inner.line,
+                            col=inner.col,
+                        )
+                        changed = True
+                        break
+
+    def _acquire_fixpoint(self) -> None:
+        for qual in sorted(self.functions):
+            module, fn = self.functions[qual]
+            path = self.modules[module].path
+            mine: dict[str, tuple[str, int, int, tuple[str, ...]]] = {}
+            for lock, _held, line, col in fn.acquisitions:
+                mine.setdefault(lock, (path, line, col, (qual,)))
+            self.acquired[qual] = mine
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(self.functions):
+                mine = self.acquired[qual]
+                for call, targets in self._resolved.get(qual, ()):
+                    for target in targets:
+                        for lock, (path, line, col, chain) in self.acquired.get(
+                            target, {}
+                        ).items():
+                            if lock not in mine:
+                                mine[lock] = (
+                                    path,
+                                    line,
+                                    col,
+                                    (qual,) + chain,
+                                )
+                                changed = True
+
+    def _build_lock_edges(self) -> None:
+        def add(frm: str, to: str, edge: LockEdge) -> None:
+            key = (frm, to)
+            existing = self.lock_edges.get(key)
+            if existing is None or len(edge.chain) < len(existing.chain):
+                self.lock_edges[key] = edge
+
+        for qual in sorted(self.functions):
+            module, fn = self.functions[qual]
+            path = self.modules[module].path
+            for lock, held, line, col in fn.acquisitions:
+                for holder in held:
+                    add(
+                        holder,
+                        lock,
+                        LockEdge(
+                            frm=holder,
+                            to=lock,
+                            path=path,
+                            line=line,
+                            col=col,
+                            chain=(qual,),
+                        ),
+                    )
+            for call, targets in self._resolved.get(qual, ()):
+                if not call.held:
+                    continue
+                for target in targets:
+                    if target == qual:
+                        continue
+                    for lock, (
+                        tpath,
+                        tline,
+                        tcol,
+                        chain,
+                    ) in self.acquired.get(target, {}).items():
+                        for holder in call.held:
+                            add(
+                                holder,
+                                lock,
+                                LockEdge(
+                                    frm=holder,
+                                    to=lock,
+                                    path=tpath,
+                                    line=tline,
+                                    col=tcol,
+                                    chain=(qual,) + chain,
+                                ),
+                            )
+
+    # -- lock metadata ---------------------------------------------------
+    def lock_reentrant(self, lock: str) -> Optional[bool]:
+        """True/False when the lock's constructor was seen, else None."""
+        prefix, _, attr = lock.rpartition(".")
+        cls = self.class_index.get(prefix)
+        if cls is None:
+            return None
+        return cls.locks.get(attr)
+
+    def sanctioned(self, frm: str, to: str) -> bool:
+        """A ``# lock-order: A < B`` declaration covers this edge."""
+        return any(
+            match_lock(a, frm) and match_lock(b, to)
+            for (a, b, _path, _line) in self.lock_decls
+        )
+
+    # -- cache keys ------------------------------------------------------
+    def dep_digest(self, module: str) -> str:
+        """Digest of the module's transitive dependency closure.
+
+        Covers (module name, content hash) for every module whose
+        content can influence this module's findings through the call
+        graph — the findings cache mixes it into its key so editing a
+        callee invalidates cached findings of its callers.
+        """
+        cached = self._digests.get(module)
+        if cached is not None:
+            return cached
+        closure: set[str] = set()
+        frontier = [module]
+        while frontier:
+            current = frontier.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            frontier.extend(self.deps.get(current, ()))
+        digest = hashlib.sha256()
+        for mod in sorted(closure & set(self.modules)):
+            digest.update(mod.encode())
+            digest.update(b"\0")
+            digest.update(self.modules[mod].content_hash.encode())
+            digest.update(b"\0")
+        out = digest.hexdigest()
+        self._digests[module] = out
+        return out
+
+    def dependents_of(self, changed: Iterable[str]) -> set[str]:
+        """Modules whose analysis may change when ``changed`` change."""
+        changed = set(changed)
+        reverse: dict[str, set[str]] = {}
+        for module, deps in self.deps.items():
+            for dep in deps:
+                reverse.setdefault(dep, set()).add(module)
+        out: set[str] = set()
+        frontier = list(changed)
+        while frontier:
+            current = frontier.pop()
+            if current in out:
+                continue
+            out.add(current)
+            frontier.extend(reverse.get(current, ()))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Project construction
+# ---------------------------------------------------------------------------
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def build_project(
+    entries: Iterable[tuple[Path, str]],
+    cache: "object | None" = None,
+) -> ProjectAnalysis:
+    """Build the project analysis for ``(path, source)`` pairs.
+
+    Files that fail to parse are skipped (the engine reports their
+    syntax error separately).  ``cache`` is duck-typed — anything with
+    ``get_summary(path, key) -> payload | None`` and
+    ``put_summary(path, key, payload)`` (see
+    :class:`repro.devtools.lint.cache.LintCache`); on a summary hit the
+    file is not parsed at all.
+    """
+    modules: dict[str, ModuleInfo] = {}
+    sources: dict[str, tuple[str, str]] = {}
+    contexts: list[FileContext] = []
+    built_flows: dict[str, dict[str, ClassFlow]] = {}
+    for path, source in entries:
+        module = module_name_for(Path(path))
+        digest = content_hash(source)
+        info: Optional[ModuleInfo] = None
+        if cache is not None:
+            payload = cache.get_summary(path, digest)
+            if payload is not None:
+                try:
+                    info = ModuleInfo.from_payload(payload)
+                except (ValueError, KeyError, TypeError):
+                    info = None
+        if info is None or info.module != module:
+            try:
+                ctx = FileContext.from_source(
+                    source, path=str(path), module=module
+                )
+            except SyntaxError:
+                continue
+            flows: dict[str, ClassFlow] = {}
+            info = build_module_info(ctx, digest, flows=flows)
+            built_flows[module] = flows
+            contexts.append(ctx)
+            if cache is not None:
+                cache.put_summary(path, digest, info.to_payload())
+        modules[module] = info
+        sources[module] = (str(path), source)
+    project = ProjectAnalysis(modules, sources)
+    for ctx in contexts:
+        project.adopt_context(ctx)
+    for module, flows in built_flows.items():
+        project.adopt_flows(module, flows)
+    return project
+
+
+def build_project_for_context(ctx: FileContext) -> ProjectAnalysis:
+    """Single-file project for standalone ``lint_source`` runs."""
+    flows: dict[str, ClassFlow] = {}
+    info = build_module_info(ctx, content_hash(ctx.source), flows=flows)
+    project = ProjectAnalysis(
+        {ctx.module: info}, {ctx.module: (ctx.path, ctx.source)}
+    )
+    project.adopt_context(ctx)
+    project.adopt_flows(ctx.module, flows)
+    return project

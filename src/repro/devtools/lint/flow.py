@@ -2,10 +2,11 @@
 
 The per-node syntactic rules (SSTD001–006) can tell whether an access is
 *lexically* inside ``with self._lock:``.  The concurrency rules
-(SSTD007–010) need more: which locks are held on every path reaching a
-statement, what a call's receiver *is* (a queue, a thread, a lock), and
-whether a guarded value leaks out of its lock's scope.  This module
-computes exactly that, once per class, and the rules consume the result.
+(SSTD007–010, SSTD012) need more: which locks are held on every path
+reaching a statement, what a call's receiver *is* (a queue, a thread, a
+lock, an instance of a project class), and whether a guarded value leaks
+out of its lock's scope.  This module computes exactly that, once per
+class, and the rules consume the result.
 
 Two layers:
 
@@ -16,7 +17,12 @@ Two layers:
   (bounded or not), thread, process, event.  Inference is constructor
   pattern matching (``threading.Lock()``, ``queue.Queue(8)``,
   ``ctx.Process(...)``, list comprehensions of those), so it needs no
-  imports resolved at runtime.
+  imports resolved at runtime.  It additionally records, per attribute,
+  the *constructor text* of class-valued attributes
+  (``self.obs = Observability(...)``) — including values threaded
+  through annotated ``__init__`` parameters — which the project call
+  graph (:mod:`repro.devtools.lint.callgraph`) uses to resolve
+  cross-class calls like ``self.obs.metrics.inc(...)``.
 
 - :func:`analyze_class` — a lockset walker over each method body.  It
   propagates the set of held locks through the statement graph:
@@ -24,15 +30,21 @@ Two layers:
   then ``with lock:``), ``Condition`` aliases, explicit
   ``.acquire()``/``.release()`` pairs, and ``# holds-lock:`` entry
   annotations.  Branches are joined conservatively (a lock counts as
-  held after an ``if`` only when both arms hold it).  The walker emits
-  a stream of events — attribute accesses, calls, and lock-scope
-  escapes — each stamped with the lockset at that program point.
+  held after an ``if`` only when both arms hold it); loop bodies are
+  iterated to a lockset fixpoint so a release inside the loop is not
+  forgotten after it.  The walker emits a stream of events — attribute
+  accesses, calls, lock acquisitions, and lock-scope escapes — each
+  stamped with the lockset at that program point.
 
 Known approximations (see DESIGN.md for the full list): the analysis is
-intraprocedural (one level of ``self.<helper>()`` summaries, no
-fixpoint across classes), nested ``def`` bodies inherit the lexical
-lockset of their definition site, and ``try`` bodies are assumed not to
-change the lockset.
+intraprocedural — one file at a time — but callers may supply
+``helper_effects`` (net lock acquire/release effects of same-class
+helpers, computed by the call-graph layer) so ``self._take_lock()``
+idioms propagate.  Nested ``def`` bodies inherit the lexical lockset of
+their definition site, ``except`` handlers are walked with the ``try``
+entry lockset (the dominant ``with``-based idiom unwinds to exactly
+that), and ``finally`` bodies run on the intersection of the normal and
+exceptional locksets.
 """
 
 from __future__ import annotations
@@ -40,7 +52,7 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Mapping, Optional
 
 from repro.devtools.lint.engine import FileContext
 from repro.devtools.lint.names import dotted_name
@@ -48,6 +60,7 @@ from repro.devtools.lint.names import dotted_name
 __all__ = [
     "ALIAS_RE",
     "AccessEvent",
+    "AcquireEvent",
     "AttrInfo",
     "CallEvent",
     "ClassAttrModel",
@@ -55,15 +68,24 @@ __all__ = [
     "EscapeEvent",
     "GUARDED_RE",
     "HOLDS_RE",
+    "LOCK_ORDER_RE",
     "MethodFlow",
     "analyze_class",
+    "analyze_function",
+    "annotation_class",
+    "blocking_reason",
     "iter_class_flows",
+    "nonblocking_call",
     "self_attr",
 ]
 
 GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(\w+)")
 ALIAS_RE = re.compile(r"#\s*lock-alias:\s*(\w+)")
 HOLDS_RE = re.compile(r"#\s*holds-lock:\s*(\w+)")
+#: ``# lock-order: A < B`` — sanctioned acquisition hierarchy (SSTD012).
+LOCK_ORDER_RE = re.compile(
+    r"#\s*lock-order:\s*([\w.]+)\s*<\s*([\w.]+)"
+)
 
 _LOCK_CTORS = frozenset({"Lock", "RLock"})
 _QUEUE_CTORS = frozenset(
@@ -71,6 +93,26 @@ _QUEUE_CTORS = frozenset(
 )
 _MUTABLE_CTORS = frozenset(
     {"list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter"}
+)
+#: Constructor names that denote library plumbing, not project classes.
+_NON_CLASS_CTORS = (
+    _LOCK_CTORS
+    | _QUEUE_CTORS
+    | _MUTABLE_CTORS
+    | {
+        "Condition",
+        "Event",
+        "Thread",
+        "Process",
+        "Semaphore",
+        "BoundedSemaphore",
+        "tuple",
+        "frozenset",
+        "str",
+        "int",
+        "float",
+        "bool",
+    }
 )
 
 
@@ -104,6 +146,39 @@ def self_attr(node: ast.expr) -> Optional[str]:
     return None
 
 
+def annotation_class(ann: Optional[ast.expr]) -> Optional[str]:
+    """Candidate class name carried by a type annotation.
+
+    ``Observability``, ``Observability | None``,
+    ``Optional[Observability]``, and the stringified forms all yield
+    ``"Observability"``; unions of two real classes yield nothing (the
+    choice would be a guess).
+    """
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    candidates: list[str] = []
+    for node in ast.walk(ann):
+        name = None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            # Skip inner parts of an Attribute chain we already took.
+            name = dotted_name(node)
+        if name is None:
+            continue
+        last = name.rsplit(".", 1)[-1]
+        if last in ("None", "Optional", "Union") or not last[:1].isupper():
+            continue
+        if name not in candidates:
+            candidates.append(name)
+        # Only consider the outermost chain once.
+        break
+    return candidates[0] if len(candidates) == 1 else None
+
+
 @dataclass(frozen=True, slots=True)
 class AttrInfo:
     """Coarse inferred type of one attribute or local variable.
@@ -116,12 +191,16 @@ class AttrInfo:
         daemon: Threads/processes only — constructed ``daemon=True``.
         container: True when the binding holds a *collection* of the
             kind (``self._threads = [Thread(...) for ...]``).
+        reentrant: Locks only — constructed as an ``RLock`` (re-entry
+            by the owning thread is legal, so a self-edge in the
+            acquisition-order graph is not a deadlock).
     """
 
     kind: str
     bounded: bool = False
     daemon: bool = False
     container: bool = False
+    reentrant: bool = False
 
 
 def _truthy_constant(node: ast.expr) -> bool:
@@ -135,7 +214,7 @@ def _classify_ctor(call: ast.Call) -> Optional[AttrInfo]:
         return None
     last = name.rsplit(".", 1)[-1]
     if last in _LOCK_CTORS:
-        return AttrInfo("lock")
+        return AttrInfo("lock", reentrant=last == "RLock")
     if last == "Condition":
         return AttrInfo("condition")
     if last == "Event":
@@ -176,7 +255,33 @@ def classify_value(expr: ast.expr) -> Optional[AttrInfo]:
                     bounded=info.bounded,
                     daemon=info.daemon,
                     container=True,
+                    reentrant=info.reentrant,
                 )
+    return None
+
+
+def _ctor_class_text(expr: ast.expr, params: Mapping[str, str]) -> Optional[str]:
+    """Raw dotted class text a value expression instantiates, if any.
+
+    ``Observability(...)`` yields ``"Observability"``;
+    ``Observability.from_env()`` yields ``"Observability.from_env"``
+    (the call-graph layer decides whether that is a classmethod
+    factory); a bare parameter name annotated with a class yields the
+    annotated class; ``a if c else b`` tries both branches.
+    """
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        if name is None:
+            return None
+        if name.rsplit(".", 1)[-1] in _NON_CLASS_CTORS:
+            return None
+        return name
+    if isinstance(expr, ast.Name):
+        return params.get(expr.id)
+    if isinstance(expr, ast.IfExp):
+        return _ctor_class_text(expr.body, params) or _ctor_class_text(
+            expr.orelse, params
+        )
     return None
 
 
@@ -193,6 +298,8 @@ class ClassAttrModel:
         self.attrs: dict[str, AttrInfo] = {}
         #: Attrs initialized to a mutable container (escape candidates).
         self.mutable: set[str] = set()
+        #: Raw dotted class text per class-valued ``self.<attr>``.
+        self.attr_classes: dict[str, str] = {}
         for node in ast.walk(cls):
             if not isinstance(node, (ast.Assign, ast.AnnAssign)):
                 continue
@@ -220,6 +327,48 @@ class ClassAttrModel:
                     self.attrs[attr] = info
                 if value is not None and is_mutable_container(value):
                     self.mutable.add(attr)
+        self._collect_attr_classes(cls)
+
+    def _collect_attr_classes(self, cls: ast.ClassDef) -> None:
+        """Infer project-class-valued attributes, method by method.
+
+        A second pass (rather than part of the main walk) because the
+        parameter-annotation lookup needs the enclosing method's
+        signature, which ``ast.walk`` over the class body loses.
+        """
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params: dict[str, str] = {}
+            args = method.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                candidate = annotation_class(arg.annotation)
+                if candidate is not None:
+                    params[arg.arg] = candidate
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    list(node.targets)
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                attr_names = [
+                    a for a in map(self_attr, targets) if a is not None
+                ]
+                if not attr_names:
+                    continue
+                text: Optional[str] = None
+                if isinstance(node, ast.AnnAssign):
+                    text = annotation_class(node.annotation)
+                if text is None and node.value is not None:
+                    text = _ctor_class_text(node.value, params)
+                if text is None:
+                    continue
+                for attr in attr_names:
+                    self.attr_classes.setdefault(attr, text)
 
     def lock_names(self) -> frozenset[str]:
         """Attr names that denote a lock (guard targets or Lock-typed)."""
@@ -241,6 +390,10 @@ class ClassAttrModel:
             # A Condition with no alias annotation guards as itself.
             return attr
         return None
+
+    def lock_is_reentrant(self, lock: str) -> bool:
+        info = self.attrs.get(lock)
+        return info is not None and info.reentrant
 
 
 @dataclass(frozen=True, slots=True)
@@ -265,6 +418,21 @@ class CallEvent:
 
 
 @dataclass(frozen=True, slots=True)
+class AcquireEvent:
+    """One lock acquisition (``with`` entry or ``.acquire()``).
+
+    ``held`` is the lockset *before* this acquisition — the edges of the
+    SSTD012 acquisition-order graph are exactly
+    ``{(h, lock) for h in held}``.
+    """
+
+    node: ast.AST
+    lock: str
+    held: frozenset[str]
+    method: str
+
+
+@dataclass(frozen=True, slots=True)
 class EscapeEvent:
     """A guarded value captured under its lock, used after release."""
 
@@ -284,8 +452,17 @@ class MethodFlow:
     entry_locks: frozenset[str]
     accesses: list[AccessEvent] = field(default_factory=list)
     calls: list[CallEvent] = field(default_factory=list)
+    acquires: list[AcquireEvent] = field(default_factory=list)
     escapes: list[EscapeEvent] = field(default_factory=list)
     local_types: dict[str, AttrInfo] = field(default_factory=dict)
+    #: Raw dotted class text per project-class-valued local variable.
+    local_classes: dict[str, str] = field(default_factory=dict)
+    #: Parameter name -> annotated class text (``def f(self, obs:
+    #: Observability)``), used to resolve calls through parameters.
+    params: dict[str, str] = field(default_factory=dict)
+    #: Lockset at the end of the body (net ``.acquire()`` effects show
+    #: up here; ``with`` blocks always balance).
+    exit_locks: frozenset[str] = frozenset()
 
 
 @dataclass(slots=True)
@@ -306,14 +483,26 @@ class _MethodWalker:
     """Walks one method body propagating the held lockset."""
 
     def __init__(
-        self, model: ClassAttrModel, flow: MethodFlow
+        self,
+        model: ClassAttrModel,
+        flow: MethodFlow,
+        helper_effects: Mapping[str, tuple[frozenset[str], frozenset[str]]]
+        | None = None,
+        params: Mapping[str, str] | None = None,
     ) -> None:
         self.model = model
         self.flow = flow
+        #: Same-class helper name -> (locks acquired, locks released) at
+        #: exit; supplied by the call-graph layer's effects fixpoint.
+        self.helper_effects = helper_effects or {}
+        self.params = params or {}
         # Local name -> canonical lock it aliases (lock = self._lock).
         self.local_locks: dict[str, str] = {}
         # Local name -> (guarded attr, lock) captured while lock held.
         self.captures: dict[str, tuple[str, str]] = {}
+        # Probe depth > 0 while re-walking a loop body to find its
+        # lockset fixpoint; events are suppressed so nothing duplicates.
+        self._probe = 0
 
     # -- statement level ------------------------------------------------
     def walk_block(
@@ -323,17 +512,57 @@ class _MethodWalker:
             held = self.walk_stmt(stmt, held)
         return held
 
+    def _probe_block(
+        self, stmts: list[ast.stmt], held: frozenset[str]
+    ) -> frozenset[str]:
+        """Walk a block without emitting events, restoring alias state."""
+        saved = (
+            dict(self.local_locks),
+            dict(self.captures),
+            dict(self.flow.local_types),
+            dict(self.flow.local_classes),
+        )
+        self._probe += 1
+        try:
+            return self.walk_block(stmts, held)
+        finally:
+            self._probe -= 1
+            self.local_locks, self.captures = dict(saved[0]), dict(saved[1])
+            self.flow.local_types = dict(saved[2])
+            self.flow.local_classes = dict(saved[3])
+
+    def _loop_entry(
+        self, body: list[ast.stmt], held: frozenset[str]
+    ) -> frozenset[str]:
+        """Lockset holding at the top of every loop iteration.
+
+        Iterates to a fixpoint: a lock released (or acquired) inside the
+        body changes what later iterations — and the code after the
+        loop — may assume.  Locksets only shrink under intersection, so
+        this converges in at most ``len(held)`` probes.
+        """
+        entry = held
+        while True:
+            out = self._probe_block(body, entry)
+            joined = entry & out
+            if joined == entry:
+                return entry
+            entry = joined
+
     def walk_stmt(self, stmt: ast.stmt, held: frozenset[str]) -> frozenset[str]:
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
             acquired: set[str] = set()
             for item in stmt.items:
-                self.visit_expr(item.context_expr, held)
+                self.visit_expr(item.context_expr, inner)
                 lock = self._lock_of(item.context_expr)
                 if lock is not None:
+                    self._record_acquire(item.context_expr, lock, inner)
                     acquired.add(lock)
+                    inner = inner | {lock}
                 if item.optional_vars is not None:
-                    self.visit_expr(item.optional_vars, held, store=True)
-            self.walk_block(stmt.body, held | acquired)
+                    self.visit_expr(item.optional_vars, inner, store=True)
+            self.walk_block(stmt.body, inner)
             return held
         if isinstance(stmt, ast.If):
             self.visit_expr(stmt.test, held)
@@ -341,26 +570,32 @@ class _MethodWalker:
             after_else = self.walk_block(stmt.orelse, held)
             return after_body & after_else
         if isinstance(stmt, (ast.While,)):
-            self.visit_expr(stmt.test, held)
-            self.walk_block(stmt.body, held)
-            self.walk_block(stmt.orelse, held)
-            return held
+            entry = self._loop_entry(stmt.body, held)
+            self.visit_expr(stmt.test, entry)
+            out = self.walk_block(stmt.body, entry)
+            self.walk_block(stmt.orelse, entry)
+            # The loop may run zero times, so only locks surviving both
+            # the skip path and a full iteration are held afterwards.
+            return held & entry & out
         if isinstance(stmt, (ast.For, ast.AsyncFor)):
             self.visit_expr(stmt.iter, held)
             self._bind_loop_target(stmt.target, stmt.iter)
-            self.visit_expr(stmt.target, held, store=True)
-            self.walk_block(stmt.body, held)
-            self.walk_block(stmt.orelse, held)
-            return held
+            entry = self._loop_entry(stmt.body, held)
+            self.visit_expr(stmt.target, entry, store=True)
+            out = self.walk_block(stmt.body, entry)
+            self.walk_block(stmt.orelse, entry)
+            return held & entry & out
         if isinstance(stmt, ast.Try) or (
             hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
         ):
-            self.walk_block(stmt.body, held)
+            after_body = self.walk_block(stmt.body, held)
             for handler in stmt.handlers:
                 self.walk_block(handler.body, held)
-            self.walk_block(stmt.orelse, held)
-            self.walk_block(stmt.finalbody, held)
-            return held
+            after_orelse = self.walk_block(stmt.orelse, after_body)
+            # ``finally`` runs on the normal path (after body/orelse) and
+            # on the exceptional path (lockset conservatively the entry
+            # set); its own effects apply to whatever survives both.
+            return self.walk_block(stmt.finalbody, held & after_orelse)
         if isinstance(stmt, ast.Assign):
             self.visit_expr(stmt.value, held)
             for target in stmt.targets:
@@ -402,15 +637,17 @@ class _MethodWalker:
         if isinstance(expr, ast.Attribute):
             attr = self_attr(expr)
             if attr is not None:
-                self.flow.accesses.append(
-                    AccessEvent(
-                        node=expr,
-                        attr=attr,
-                        held=held,
-                        write=store or isinstance(expr.ctx, (ast.Store, ast.Del)),
-                        method=self.flow.name,
+                if not self._probe:
+                    self.flow.accesses.append(
+                        AccessEvent(
+                            node=expr,
+                            attr=attr,
+                            held=held,
+                            write=store
+                            or isinstance(expr.ctx, (ast.Store, ast.Del)),
+                            method=self.flow.name,
+                        )
                     )
-                )
                 return
             self.visit_expr(expr.value, held)
             return
@@ -419,25 +656,27 @@ class _MethodWalker:
                 captured = self.captures.get(expr.id)
                 if captured is not None and captured[1] not in held:
                     attr, lock = captured
-                    self.flow.escapes.append(
-                        EscapeEvent(
-                            node=expr,
-                            attr=attr,
-                            lock=lock,
-                            via=expr.id,
-                            method=self.flow.name,
+                    if not self._probe:
+                        self.flow.escapes.append(
+                            EscapeEvent(
+                                node=expr,
+                                attr=attr,
+                                lock=lock,
+                                via=expr.id,
+                                method=self.flow.name,
+                            )
                         )
-                    )
             return
         if isinstance(expr, ast.Call):
-            self.flow.calls.append(
-                CallEvent(
-                    node=expr,
-                    callee=dotted_name(expr.func),
-                    held=held,
-                    method=self.flow.name,
+            if not self._probe:
+                self.flow.calls.append(
+                    CallEvent(
+                        node=expr,
+                        callee=dotted_name(expr.func),
+                        held=held,
+                        method=self.flow.name,
+                    )
                 )
-            )
             self.visit_expr(expr.func, held)
             for arg in expr.args:
                 self.visit_expr(arg, held)
@@ -472,6 +711,16 @@ class _MethodWalker:
                 self.visit_expr(child, held)
 
     # -- helpers --------------------------------------------------------
+    def _record_acquire(
+        self, node: ast.AST, lock: str, held: frozenset[str]
+    ) -> None:
+        if not self._probe:
+            self.flow.acquires.append(
+                AcquireEvent(
+                    node=node, lock=lock, held=held, method=self.flow.name
+                )
+            )
+
     def _lock_of(self, expr: ast.expr) -> Optional[str]:
         """Canonical lock acquired by ``with <expr>:``, if any."""
         attr = self_attr(expr)
@@ -492,6 +741,7 @@ class _MethodWalker:
         self.local_locks.pop(name, None)
         self.captures.pop(name, None)
         self.flow.local_types.pop(name, None)
+        self.flow.local_classes.pop(name, None)
         value_attr = self_attr(value)
         if value_attr is not None:
             lock = self.model.lock_for_attr(value_attr)
@@ -508,10 +758,17 @@ class _MethodWalker:
             info = self.model.attrs.get(value_attr)
             if info is not None:
                 self.flow.local_types[name] = info
+            cls_text = self.model.attr_classes.get(value_attr)
+            if cls_text is not None:
+                self.flow.local_classes[name] = cls_text
             return
         info = classify_value(value)
         if info is not None:
             self.flow.local_types[name] = info
+            return
+        cls_text = _ctor_class_text(value, self.params)
+        if cls_text is not None:
+            self.flow.local_classes[name] = cls_text
 
     def _bind_loop_target(self, target: ast.expr, source: ast.expr) -> None:
         """``for t in self._threads:`` types ``t`` from the container."""
@@ -525,16 +782,38 @@ class _MethodWalker:
             info = self.flow.local_types.get(source.id)
         if info is not None and info.container:
             self.flow.local_types[target.id] = AttrInfo(
-                info.kind, bounded=info.bounded, daemon=info.daemon
+                info.kind,
+                bounded=info.bounded,
+                daemon=info.daemon,
+                reentrant=info.reentrant,
             )
 
     def _apply_lock_calls(
         self, expr: ast.expr, held: frozenset[str]
     ) -> frozenset[str]:
-        """``self._lock.acquire()`` / ``.release()`` statement effects."""
+        """``self._lock.acquire()`` / ``.release()`` statement effects.
+
+        Also applies the net lock effects of same-class helper calls
+        (``self._take_lock()``) when the call-graph layer supplied an
+        effects table.
+        """
+        if not isinstance(expr, ast.Call):
+            return held
+        callee = dotted_name(expr.func)
+        if (
+            self.helper_effects
+            and callee is not None
+            and callee.startswith("self.")
+            and "." not in callee[len("self."):]
+        ):
+            effects = self.helper_effects.get(callee[len("self."):])
+            if effects is not None:
+                acquired, released = effects
+                for lock in sorted(acquired - held):
+                    self._record_acquire(expr, lock, held)
+                return (held | acquired) - released
         if not (
-            isinstance(expr, ast.Call)
-            and isinstance(expr.func, ast.Attribute)
+            isinstance(expr.func, ast.Attribute)
             and expr.func.attr in ("acquire", "release")
         ):
             return held
@@ -542,6 +821,7 @@ class _MethodWalker:
         if lock is None:
             return held
         if expr.func.attr == "acquire":
+            self._record_acquire(expr, lock, held)
             return held | {lock}
         return held - {lock}
 
@@ -559,24 +839,172 @@ def _entry_locks(
     return frozenset(held)
 
 
-def analyze_class(ctx: FileContext, cls: ast.ClassDef) -> ClassFlow:
-    """Build the attribute model and walk every method of ``cls``."""
+def _params_of(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """Parameter name -> annotated class text for one signature."""
+    params: dict[str, str] = {}
+    args = node.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        candidate = annotation_class(arg.annotation)
+        if candidate is not None:
+            params[arg.arg] = candidate
+    return params
+
+
+def analyze_class(
+    ctx: FileContext,
+    cls: ast.ClassDef,
+    helper_effects: Mapping[str, tuple[frozenset[str], frozenset[str]]]
+    | None = None,
+) -> ClassFlow:
+    """Build the attribute model and walk every method of ``cls``.
+
+    ``helper_effects`` maps same-class method names to their net
+    (acquired, released) lock effects at exit — the call-graph layer
+    computes it by fixpoint so ``self._take_lock()`` helpers propagate.
+    """
     model = ClassAttrModel(ctx, cls)
     flow = ClassFlow(node=cls, model=model)
     for node in cls.body:
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
+        params = _params_of(node)
         method = MethodFlow(
-            name=node.name, node=node, entry_locks=_entry_locks(ctx, node)
+            name=node.name,
+            node=node,
+            entry_locks=_entry_locks(ctx, node),
+            params=params,
         )
-        walker = _MethodWalker(model, method)
-        walker.walk_block(node.body, method.entry_locks)
+        walker = _MethodWalker(
+            model, method, helper_effects=helper_effects, params=params
+        )
+        method.exit_locks = walker.walk_block(node.body, method.entry_locks)
         flow.methods[node.name] = method
     return flow
 
 
+def _empty_model() -> ClassAttrModel:
+    """An attribute model with nothing in it (module-level functions)."""
+    model = ClassAttrModel.__new__(ClassAttrModel)
+    model.name = ""
+    model.guards = {}
+    model.aliases = {}
+    model.attrs = {}
+    model.mutable = set()
+    model.attr_classes = {}
+    return model
+
+
+def analyze_function(
+    ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+) -> MethodFlow:
+    """Walk a module-level function body with an empty attribute model.
+
+    Module-level functions have no ``self`` locks, so their entry
+    lockset is empty and only local aliases/ctor types are tracked; the
+    call graph still needs their call and blocking-leaf events.
+    """
+    params = _params_of(node)
+    flow = MethodFlow(
+        name=node.name, node=node, entry_locks=frozenset(), params=params
+    )
+    walker = _MethodWalker(_empty_model(), flow, params=params)
+    flow.exit_locks = walker.walk_block(node.body, frozenset())
+    return flow
+
+
 def iter_class_flows(ctx: FileContext) -> Iterator[ClassFlow]:
-    """Analyze every class in the file (including nested classes)."""
+    """Analyze every class in the file (including nested classes).
+
+    When the file was linted as part of a whole-project run the
+    project's memoized (effects-aware) flows are served instead of
+    re-walking; standalone runs get the plain intraprocedural result.
+    """
+    project = getattr(ctx, "project", None)
+    if project is not None and project.has_module(ctx.module):
+        yield from project.class_flows(ctx.module)
+        return
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.ClassDef):
             yield analyze_class(ctx, node)
+
+
+# ---------------------------------------------------------------------------
+# Blocking-call classification (shared by SSTD008 and the call graph)
+# ---------------------------------------------------------------------------
+
+
+def nonblocking_call(call: ast.Call, meth: str) -> bool:
+    """True for ``get(False)`` / ``put(x, False)`` / ``block=False``."""
+    index = 0 if meth == "get" else 1
+    if len(call.args) > index:
+        arg = call.args[index]
+        return isinstance(arg, ast.Constant) and arg.value is False
+    for kw in call.keywords:
+        if kw.arg == "block":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is False
+    return False
+
+
+def blocking_reason(
+    event: CallEvent,
+    model: ClassAttrModel | None,
+    method: MethodFlow,
+    imports,
+) -> Optional[str]:
+    """Why this call blocks, or None.  ``imports`` is a names.ImportMap.
+
+    The classification is receiver-typed: ``join``/``start`` on threads
+    and processes, blocking ``get``/bounded ``put`` on queues,
+    ``time.sleep``, and ``.drain()``.  ``Condition.wait``/``notify`` are
+    exempt (``wait`` releases the lock it wraps by design).
+    """
+    callee = event.callee
+    if callee is None:
+        return None
+    root, _, rest = callee.partition(".")
+    resolved = f"{imports.aliases.get(root, root)}.{rest}" if rest else root
+    if resolved == "time.sleep":
+        return "calls time.sleep()"
+    receiver, _, meth = callee.rpartition(".")
+    if not receiver:
+        return None
+    info: Optional[AttrInfo] = None
+    if receiver.startswith("self."):
+        attr = receiver[len("self."):]
+        if "." not in attr and model is not None:
+            info = model.attrs.get(attr)
+    elif "." not in receiver:
+        info = method.local_types.get(receiver)
+    if meth == "join":
+        root = receiver.split(".", 1)[0]
+        if root != "self" and root in imports.aliases:
+            return None  # module-level join (os.path.join)
+        if info is not None and info.kind not in (
+            "thread",
+            "process",
+            "queue",
+        ):
+            return None  # a str/list/lock receiver; join is not blocking
+        return f"calls {receiver}.join(), which blocks until exit,"
+    if meth == "drain":
+        return (
+            f"calls {receiver}.drain(), which blocks until every "
+            "outstanding task finishes,"
+        )
+    if meth in ("get", "put"):
+        if info is None or info.kind != "queue":
+            return None
+        if nonblocking_call(event.node, meth):
+            return None
+        if meth == "put" and not info.bounded:
+            return None  # unbounded put never blocks
+        return f"calls blocking {receiver}.{meth}()"
+    if meth == "start":
+        if info is not None and info.kind in ("thread", "process"):
+            return f"spawns a {info.kind} via {receiver}.start()"
+        return None
+    return None

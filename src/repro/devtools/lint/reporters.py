@@ -1,4 +1,4 @@
-"""Finding reporters: human text, machine JSON, GitHub annotations."""
+"""Finding reporters: human text, machine JSON, GitHub annotations, SARIF."""
 
 from __future__ import annotations
 
@@ -6,9 +6,9 @@ import collections
 import json
 from typing import Sequence
 
-from repro.devtools.lint.engine import Finding
+from repro.devtools.lint.engine import Finding, Rule
 
-__all__ = ["render_github", "render_json", "render_text"]
+__all__ = ["render_github", "render_json", "render_sarif", "render_text"]
 
 
 def render_text(findings: Sequence[Finding], n_files: int) -> str:
@@ -67,6 +67,81 @@ def render_github(findings: Sequence[Finding], n_files: int) -> str:
     )
     lines.append(f"::notice title=SSTD lint::{_escape_data(summary)}")
     return "\n".join(lines)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    n_files: int,
+    rules: Sequence[Rule] = (),
+) -> str:
+    """SARIF 2.1.0 log, uploadable to GitHub code scanning.
+
+    Rule metadata comes from ``rules`` (the registered rule objects);
+    engine-level SSTD000 findings synthesize their descriptor on the
+    fly so every result's ``ruleId`` resolves.  Columns are converted
+    from the engine's 0-based offsets to SARIF's 1-based convention.
+    """
+    descriptors: dict[str, dict] = {
+        rule.rule_id: {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in rules
+    }
+    for finding in findings:
+        descriptors.setdefault(
+            finding.rule_id,
+            {
+                "id": finding.rule_id,
+                "shortDescription": {"text": "engine-level diagnostic"},
+            },
+        )
+    rule_index = {
+        rule_id: index for index, rule_id in enumerate(sorted(descriptors))
+    }
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sstd-lint",
+                        "rules": [
+                            descriptors[rule_id]
+                            for rule_id in sorted(descriptors)
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
 
 
 def render_json(findings: Sequence[Finding], n_files: int) -> str:

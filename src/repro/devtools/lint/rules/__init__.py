@@ -14,14 +14,25 @@ Importing this package registers every rule with the engine registry:
 - ``SSTD010`` — threads/processes joined, daemonized, or handed off;
 - ``SSTD011`` — runtime packages read time through the ``repro.obs``
   ``Clock`` protocol, never ``time.time()``/``monotonic()``/
-  ``perf_counter()`` directly.
+  ``perf_counter()`` directly;
+- ``SSTD012`` — the global lock-acquisition order is acyclic
+  (whole-program deadlock detection; ``# lock-order: A < B``
+  declarations sanction audited hierarchies);
+- ``SSTD013`` — kernel modules (``repro.hmm.batch``,
+  ``repro.hmm.utils``, ``repro.system.jobs``) never let set/dict-view
+  iteration order reach numeric accumulations or task ordering
+  (``# order-independent`` sanctions commutative exact reductions).
 
 (``SSTD000`` is reserved for engine-level diagnostics — syntax errors
 and stale ``noqa`` suppressions — and is emitted by the engine itself,
 not by a registered rule.)
 
 SSTD003 and SSTD007/008 share the lockset walker in
-:mod:`repro.devtools.lint.flow`.
+:mod:`repro.devtools.lint.flow`; SSTD007/008/009/012 additionally
+consume the whole-program call graph in
+:mod:`repro.devtools.lint.callgraph` when a file *set* is linted
+(``lint_paths``), and degrade to their per-file behaviour for
+standalone snippets (``lint_source``).
 """
 
 from repro.devtools.lint.rules.concurrency import (
@@ -32,7 +43,11 @@ from repro.devtools.lint.rules.defaults import MutableDefaultRule
 from repro.devtools.lint.rules.determinism import UnseededRandomRule
 from repro.devtools.lint.rules.exceptions import BroadExceptRule
 from repro.devtools.lint.rules.exports import MissingAllRule
+from repro.devtools.lint.rules.kernel_determinism import (
+    KernelDeterminismRule,
+)
 from repro.devtools.lint.rules.lifecycle import ThreadLifecycleRule
+from repro.devtools.lint.rules.lockorder import LockOrderRule
 from repro.devtools.lint.rules.locks import LockDisciplineRule
 from repro.devtools.lint.rules.numerics import RawLogExpRule
 from repro.devtools.lint.rules.picklability import PicklabilityRule
@@ -43,7 +58,9 @@ __all__ = [
     "BroadExceptRule",
     "DirectClockReadRule",
     "GuardedEscapeRule",
+    "KernelDeterminismRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "MissingAllRule",
     "MutableDefaultRule",
     "PicklabilityRule",

@@ -9,31 +9,39 @@ see:
   ``# holds-lock: <lock>`` without holding the lock (the helper's own
   body passes SSTD003 because of the annotation, so the call site is
   where the race hides), and capturing a ``# guarded-by:`` value into a
-  local under the lock and then using it after release.
+  local under the lock and then using it after release.  With the
+  project call graph attached the holds-lock check also crosses class
+  and module boundaries: calling ``master._pick_task()`` from another
+  component without the master lock is flagged even though the
+  annotation lives in a different file.
 
 - **SSTD008** — *blocking calls while holding a lock*.  Holding the
   master lock across ``Thread.join``/``Process.join``, a blocking
   ``Queue.get``/``Queue.put`` (bounded puts), ``time.sleep``,
   ``.drain()``, or a ``Thread``/``Process`` ``start()`` stalls every
   thread contending for the lock — the exact hang class the Work Queue
-  supervisor is exposed to.  Calls to same-class helpers that the
-  walker found to contain blocking operations are flagged too (one
-  intra-class summary fixpoint, no cross-class propagation).
-  ``Condition.wait``/``notify`` are exempt: ``wait`` releases the lock
-  it wraps by design.
+  supervisor is exposed to.  Leaf calls are classified right here from
+  the receiver's inferred type; anything reached *through other
+  functions* — same-class helpers, module-level functions, methods of
+  other classes in other modules, constructors — is caught via the
+  transitive may-block summaries of
+  :mod:`repro.devtools.lint.callgraph`, and the diagnostic carries the
+  call chain down to the blocking leaf.  Without a project (standalone
+  ``lint_source`` of a snippet) the pre-PR-6 one-class fixpoint is the
+  fallback.  ``Condition.wait``/``notify`` are exempt: ``wait``
+  releases the lock it wraps by design.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterator, Optional
 
 from repro.devtools.lint.engine import FileContext, Finding, Rule, register
 from repro.devtools.lint.flow import (
-    AttrInfo,
     CallEvent,
     ClassFlow,
     MethodFlow,
+    blocking_reason,
     iter_class_flows,
 )
 from repro.devtools.lint.names import ImportMap
@@ -41,10 +49,24 @@ from repro.devtools.lint.names import ImportMap
 __all__ = ["BlockingUnderLockRule", "GuardedEscapeRule"]
 
 
+def _short(qualname: str) -> str:
+    """Readable tail of a qualname/lock id (``Class.meth`` or ``mod.fn``)."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def _project_of(ctx: FileContext):
+    project = getattr(ctx, "project", None)
+    if project is not None and project.has_module(ctx.module):
+        return project
+    return None
+
+
 @register
 class GuardedEscapeRule(Rule):
     rule_id = "SSTD007"
     summary = "guarded state must not escape its lock scope"
+    needs_project = True
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for flow in iter_class_flows(ctx):
@@ -65,6 +87,7 @@ class GuardedEscapeRule(Rule):
                         f"{method.name}(); keep the use inside "
                         f"'with self.{escape.lock}:' or copy the data out",
                     )
+        yield from self._check_cross_class_calls(ctx)
 
     def _check_helper_calls(
         self, ctx: FileContext, flow: ClassFlow, method: MethodFlow
@@ -87,40 +110,65 @@ class GuardedEscapeRule(Rule):
                     f"'with self.{lock}:'",
                 )
 
+    def _check_cross_class_calls(self, ctx: FileContext) -> Iterator[Finding]:
+        """Holds-lock contracts enforced across class/module boundaries.
 
-def _resolve(imports: ImportMap, callee: str) -> str:
-    root, _, rest = callee.partition(".")
-    canonical = imports.aliases.get(root, root)
-    return f"{canonical}.{rest}" if rest else canonical
-
-
-def _nonblocking_call(call: ast.Call, meth: str) -> bool:
-    """True for ``get(False)`` / ``put(x, False)`` / ``block=False``."""
-    index = 0 if meth == "get" else 1
-    if len(call.args) > index:
-        arg = call.args[index]
-        return isinstance(arg, ast.Constant) and arg.value is False
-    for kw in call.keywords:
-        if kw.arg == "block":
-            return isinstance(kw.value, ast.Constant) and kw.value.value is False
-    return False
+        Same-class calls are handled (with local-alias precision) by
+        :meth:`_check_helper_calls`; here only calls whose resolved
+        target lives on a *different* class are considered, comparing
+        global lock ids.
+        """
+        project = _project_of(ctx)
+        if project is None:
+            return
+        for site in project.resolved_calls(ctx.module):
+            caller_cls = site.caller.rsplit(".", 1)[0]
+            held = set(site.held)
+            for target in site.targets:
+                if target.rsplit(".", 1)[0] == caller_cls:
+                    continue
+                required = project.entry_locks.get(target, frozenset())
+                for lock in sorted(required - held):
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{_short(target)}() is annotated "
+                            f"'# holds-lock: {lock.rsplit('.', 1)[-1]}' "
+                            f"({lock}) but {_short(site.caller)}() calls "
+                            "it without holding that lock; acquire it "
+                            "around the call or route through a public "
+                            "method that does"
+                        ),
+                        path=ctx.path,
+                        line=site.line,
+                        col=site.col,
+                    )
 
 
 @register
 class BlockingUnderLockRule(Rule):
     rule_id = "SSTD008"
     summary = "no blocking calls while holding a lock"
+    needs_project = True
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         imports = ImportMap(ctx.tree)
+        project = _project_of(ctx)
+        reported: set[tuple[int, int]] = set()
         for flow in iter_class_flows(ctx):
-            blocking_methods = self._blocking_summary(flow, imports)
+            # Without whole-program summaries, fall back to the
+            # pre-PR-6 one-class helper fixpoint.
+            blocking_methods = (
+                {}
+                if project is not None
+                else self._blocking_summary(flow, imports)
+            )
             for method in flow.methods.values():
                 for event in method.calls:
                     if not event.held:
                         continue
-                    reason = self._blocking_reason(
-                        event, flow, method, imports
+                    reason = blocking_reason(
+                        event, flow.model, method, imports
                     )
                     if reason is None:
                         reason = self._blocking_helper(
@@ -131,6 +179,7 @@ class BlockingUnderLockRule(Rule):
                     locks = ", ".join(
                         f"self.{lock}" for lock in sorted(event.held)
                     )
+                    reported.add((event.node.lineno, event.node.col_offset))
                     yield self.finding(
                         ctx,
                         event.node,
@@ -138,68 +187,46 @@ class BlockingUnderLockRule(Rule):
                         "release the lock first (snapshot the state you "
                         "need, then block outside the critical section)",
                     )
+        if project is not None:
+            yield from self._check_transitive(ctx, project, reported)
 
-    # -- classification -------------------------------------------------
-    def _receiver_info(
-        self, receiver: str, flow: ClassFlow, method: MethodFlow
-    ) -> Optional[AttrInfo]:
-        if receiver.startswith("self."):
-            attr = receiver[len("self."):]
-            if "." in attr:
-                return None
-            return flow.model.attrs.get(attr)
-        if "." in receiver:
-            return None
-        return method.local_types.get(receiver)
-
-    def _blocking_reason(
-        self,
-        event: CallEvent,
-        flow: ClassFlow,
-        method: MethodFlow,
-        imports: ImportMap,
-    ) -> Optional[str]:
-        callee = event.callee
-        if callee is None:
-            return None
-        if _resolve(imports, callee) == "time.sleep":
-            return "calls time.sleep()"
-        receiver, _, meth = callee.rpartition(".")
-        if not receiver:
-            return None
-        info = self._receiver_info(receiver, flow, method)
-        if meth == "join":
-            root = receiver.split(".", 1)[0]
-            if root != "self" and root in imports.aliases:
-                return None  # module-level join (os.path.join)
-            if info is not None and info.kind not in (
-                "thread",
-                "process",
-                "queue",
-            ):
-                return None  # a str/list/lock receiver; join is not blocking
-            return f"calls {receiver}.join(), which blocks until exit,"
-        if meth == "drain":
-            return (
-                f"calls {receiver}.drain(), which blocks until every "
-                "outstanding task finishes,"
+    def _check_transitive(
+        self, ctx: FileContext, project, reported: set[tuple[int, int]]
+    ) -> Iterator[Finding]:
+        """Blocking reached through resolved call chains (any depth)."""
+        for site in project.resolved_calls(ctx.module):
+            if not site.held:
+                continue
+            pos = (site.line, site.col)
+            if pos in reported:
+                continue
+            summary = next(
+                (
+                    project.blocking[target]
+                    for target in site.targets
+                    if target in project.blocking
+                ),
+                None,
             )
-        if meth in ("get", "put"):
-            if info is None or info.kind != "queue":
-                return None
-            if _nonblocking_call(event.node, meth):
-                return None
-            if meth == "put" and not info.bounded:
-                return None  # unbounded put never blocks
-            return f"calls blocking {receiver}.{meth}()"
-        if meth == "start":
-            if info is not None and info.kind in ("thread", "process"):
-                return (
-                    f"spawns a {info.kind} via {receiver}.start()"
-                )
-            return None
-        return None
+            if summary is None:
+                continue
+            reported.add(pos)
+            chain = " -> ".join(_short(q) for q in summary.chain)
+            locks = ", ".join(_short(lock) for lock in sorted(site.held))
+            yield Finding(
+                rule_id=self.rule_id,
+                message=(
+                    f"{_short(site.caller)}() calls {_short(summary.chain[0])}(), "
+                    f"which may block ({summary.reason}; chain {chain}), "
+                    f"while holding {locks}; release the lock before the "
+                    "call or make the callee non-blocking"
+                ),
+                path=ctx.path,
+                line=site.line,
+                col=site.col,
+            )
 
+    # -- intra-class fallback (no project attached) ----------------------
     def _blocking_helper(
         self, event: CallEvent, blocking_methods: dict[str, str]
     ) -> Optional[str]:
@@ -221,7 +248,7 @@ class BlockingUnderLockRule(Rule):
         summary: dict[str, str] = {}
         for method in flow.methods.values():
             for event in method.calls:
-                reason = self._blocking_reason(event, flow, method, imports)
+                reason = blocking_reason(event, flow.model, method, imports)
                 if reason is not None:
                     summary.setdefault(method.name, reason)
                     break

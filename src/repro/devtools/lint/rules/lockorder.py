@@ -1,0 +1,233 @@
+"""SSTD012: the global lock-acquisition order must be acyclic.
+
+The classic distributed-supervisor deadlock needs no blocking call at
+all: thread 1 acquires the master lock and then the metrics lock,
+thread 2 acquires them in the opposite order, and both wait forever.
+No intraprocedural check can see this — the two acquisitions usually
+live in different classes, reached through call chains that cross
+module boundaries.
+
+This is a **project rule**: it runs once per lint invocation over the
+whole-program analysis, not per file.  The call-graph layer
+(:mod:`repro.devtools.lint.callgraph`) records every edge
+``A -> B`` = "lock ``B`` acquired (possibly transitively, through
+resolved calls) while ``A`` is held", with the acquisition site and
+the call chain that reaches it.  Here those edges become a directed
+graph over global lock ids and every strongly connected component with
+a cycle is reported once, anchored at its first edge in deterministic
+order, enumerating each edge of a representative cycle with its
+acquisition site and chain.
+
+Teams sanction an intended hierarchy with a declaration comment
+anywhere in the code base::
+
+    # lock-order: WorkQueueMaster._lock < MetricRegistry._lock
+
+Declared edges are considered audited and leave the cycle graph; an
+edge taken in the *opposite* direction of a declaration is its own
+finding (a contradiction is a stronger signal than a cycle — somebody
+wrote the order down and the code violates it).  Declaring both
+directions explicitly sanctions an apparent cycle that has been
+audited as safe (e.g. the two paths are proven mutually exclusive).
+Re-acquiring a lock already held is reported only when the lock is
+provably non-reentrant (a plain ``threading.Lock()`` constructor was
+seen); ``RLock`` self-edges are by design.
+
+Lock ids match the declaration pattern by dotted suffix, so
+``MetricRegistry._lock`` or plain ``_lock`` both match
+``repro.obs.metrics.MetricRegistry._lock`` — use the longer form
+whenever two classes share an attribute name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+
+__all__ = ["LockOrderRule"]
+
+
+def _short(lock: str) -> str:
+    parts = lock.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else lock
+
+
+def _sccs(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components (iterative Tarjan, sorted output)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+
+    nodes = sorted(set(graph) | {s for succ in graph.values() for s in succ})
+    for root in nodes:
+        if root in index:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(graph.get(root, ()))))
+        ]
+        while work:
+            node, successors = work[-1]
+            descended = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    descended = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if descended:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return components
+
+
+def _cycle_through(
+    anchor: tuple[str, str],
+    edges: dict[tuple[str, str], object],
+    scope: set[str],
+) -> list[tuple[str, str]]:
+    """Shortest edge path anchor.to ->* anchor.frm inside ``scope``.
+
+    BFS over the component guarantees a representative cycle exists
+    (the anchor's endpoints share an SCC) and keeps it minimal.
+    """
+    frm, to = anchor
+    if frm == to:
+        return [anchor]
+    parents: dict[str, tuple[str, str]] = {}
+    frontier = [to]
+    seen = {to}
+    while frontier and frm not in seen:
+        nxt: list[str] = []
+        for node in frontier:
+            for key in sorted(edges):
+                if key[0] != node or key[1] not in scope or key[1] in seen:
+                    continue
+                seen.add(key[1])
+                parents[key[1]] = key
+                nxt.append(key[1])
+        frontier = nxt
+    path: list[tuple[str, str]] = []
+    node = frm
+    while node != to:
+        key = parents[node]
+        path.append(key)
+        node = key[0]
+    path.reverse()
+    return [anchor] + path
+
+
+@register
+class LockOrderRule(Rule):
+    rule_id = "SSTD012"
+    summary = "global lock acquisition order must be acyclic"
+    needs_project = True
+    project_rule = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        graph: dict[str, set[str]] = {}
+        edges: dict[tuple[str, str], object] = {}
+        for (frm, to), edge in sorted(project.lock_edges.items()):
+            if frm == to:
+                if project.lock_reentrant(frm) is False:
+                    chain = " -> ".join(_short(q) for q in edge.chain)
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{_short(frm)} is acquired again while "
+                            f"already held (via {chain}) and it is a "
+                            "non-reentrant threading.Lock; this "
+                            "self-deadlocks — use threading.RLock or "
+                            "restructure so the critical sections do "
+                            "not nest"
+                        ),
+                        path=edge.path,
+                        line=edge.line,
+                        col=edge.col,
+                    )
+                continue
+            if project.sanctioned(frm, to):
+                continue
+            if project.sanctioned(to, frm):
+                chain = " -> ".join(_short(q) for q in edge.chain)
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{_short(to)} is declared to precede "
+                        f"{_short(frm)} ('# lock-order: {_short(to)} < "
+                        f"{_short(frm)}') but {_short(to)} is acquired "
+                        f"here while {_short(frm)} is held "
+                        f"(via {chain}); this contradicts the declared "
+                        "hierarchy — reorder the acquisitions or fix "
+                        "the declaration"
+                    ),
+                    path=edge.path,
+                    line=edge.line,
+                    col=edge.col,
+                )
+                continue
+            edges[(frm, to)] = edge
+            graph.setdefault(frm, set()).add(to)
+
+        for component in _sccs(graph):
+            members = set(component)
+            component_edges = sorted(
+                key
+                for key in edges
+                if key[0] in members and key[1] in members
+            )
+            has_cycle = len(component) > 1
+            if not has_cycle:
+                continue
+            anchor = component_edges[0]
+            cycle = _cycle_through(anchor, edges, members)
+            steps = []
+            for key in cycle:
+                edge = edges[key]
+                chain = " -> ".join(_short(q) for q in edge.chain)
+                steps.append(
+                    f"{_short(key[0])} then {_short(key[1])} at "
+                    f"{edge.path}:{edge.line} (via {chain})"
+                )
+            locks = ", ".join(_short(lock) for lock in component)
+            a, b = anchor
+            anchor_edge = edges[anchor]
+            yield Finding(
+                rule_id=self.rule_id,
+                message=(
+                    f"potential deadlock: locks {locks} are acquired "
+                    f"in a cycle [{'; '.join(steps)}]; pick one global "
+                    "order and enforce it, or — after auditing — "
+                    f"declare '# lock-order: {_short(a)} < {_short(b)}'"
+                ),
+                path=anchor_edge.path,
+                line=anchor_edge.line,
+                col=anchor_edge.col,
+            )

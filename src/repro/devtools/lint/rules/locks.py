@@ -22,8 +22,14 @@ Three annotations drive the rule:
 Since PR 3 the rule runs on the shared lockset walker
 (:mod:`repro.devtools.lint.flow`), so it also understands local lock
 aliases (``lock = self._lock`` followed by ``with lock:``) and joins
-branches conservatively.  The escape analysis built on the same walker
-lives in SSTD007 (:mod:`repro.devtools.lint.rules.concurrency`).
+branches conservatively.  When the whole-program call graph is
+attached (linting a file set), the class flows come from its
+effects-aware fixpoint: a same-class helper that *net-acquires* or
+*net-releases* a lock (``self._enter()`` / ``self._exit()`` pairs)
+updates the caller's lockset at the call site, so guarded accesses
+after such calls are judged against the real lock state instead of
+the lexical one.  The escape analysis built on the same walker lives
+in SSTD007 (:mod:`repro.devtools.lint.rules.concurrency`).
 
 The rule is annotation-driven, so it is safe to run repo-wide: files
 without annotations produce no findings.
@@ -43,6 +49,7 @@ __all__ = ["LockDisciplineRule"]
 class LockDisciplineRule(Rule):
     rule_id = "SSTD003"
     summary = "guarded attributes only touched while their lock is held"
+    needs_project = True
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for flow in iter_class_flows(ctx):

@@ -13,9 +13,14 @@ this rule rejects them at lint time:
   (``threading.Lock()``/``RLock``/``Condition``/``Event``/
   ``Semaphore``);
 - ``<queue>.submit(Task(..., fn=<lambda/closure>))`` when ``<queue>``
-  was constructed as a ``ProcessWorkQueue`` in the same file (thread
-  and simulated backends accept closures, so only process-bound submits
-  are flagged).
+  is a ``ProcessWorkQueue`` — recognized either from a same-file
+  constructor assignment, or (when the project call graph is attached)
+  from the whole-program resolution of the receiver: an annotated
+  parameter, a ``self.queue`` attribute typed in ``__init__``, or an
+  attribute chain crossing modules all resolve to
+  ``ProcessWorkQueue.submit`` and get the same scrutiny.  Thread and
+  simulated backends accept closures, so only process-bound submits
+  are flagged.
 
 The sanctioned pattern is a module-level function wrapped in a spec —
 see :func:`repro.system.jobs.decode_claim_payload`.
@@ -73,11 +78,13 @@ def _process_queue_names(tree: ast.Module) -> set[str]:
 class PicklabilityRule(Rule):
     rule_id = "SSTD009"
     summary = "process-queue payloads are statically picklable"
+    needs_project = True
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         imports = ImportMap(ctx.tree)
         nested = _nested_function_names(ctx.tree)
         process_queues = _process_queue_names(ctx.tree)
+        checked: set[tuple[int, int]] = set()
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -88,7 +95,37 @@ class PicklabilityRule(Rule):
             elif last == "submit":
                 receiver = callee.rsplit(".", 1)[0] if "." in callee else ""
                 if receiver in process_queues:
+                    checked.add((node.lineno, node.col_offset))
                     yield from self._check_process_submit(ctx, node, nested)
+        yield from self._check_resolved_submits(ctx, nested, checked)
+
+    def _check_resolved_submits(
+        self,
+        ctx: FileContext,
+        nested: set[str],
+        checked: set[tuple[int, int]],
+    ) -> Iterator[Finding]:
+        """Submits whose receiver the *project* typed as ProcessWorkQueue."""
+        project = getattr(ctx, "project", None)
+        if project is None or not project.has_module(ctx.module):
+            return
+        calls_at: dict[tuple[int, int], ast.Call] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                calls_at.setdefault((node.lineno, node.col_offset), node)
+        for site in project.resolved_calls(ctx.module):
+            if not any(
+                target.endswith(".ProcessWorkQueue.submit")
+                for target in site.targets
+            ):
+                continue
+            pos = (site.line, site.col)
+            if pos in checked:
+                continue
+            checked.add(pos)
+            call = calls_at.get(pos)
+            if call is not None:
+                yield from self._check_process_submit(ctx, call, nested)
 
     # -- PayloadSpec construction ---------------------------------------
     def _payload_callable(self, call: ast.Call) -> ast.expr | None:

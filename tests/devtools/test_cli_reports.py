@@ -1,0 +1,136 @@
+"""CLI satellites: SARIF output, the noqa budget, changed-only scope."""
+
+import json
+from pathlib import Path
+
+from repro.devtools.lint import all_rules
+from repro.devtools.lint.cli import main as lint_main, run_lint
+from repro.devtools.lint.engine import lint_paths
+from repro.devtools.lint.reporters import render_sarif
+
+DIRTY = """\
+__all__ = []
+
+def f():
+    try:
+        pass
+    except:
+        pass
+"""
+
+SUPPRESSED = """\
+__all__ = []
+
+def f():
+    try:
+        pass
+    except:  # noqa: SSTD001
+        pass
+"""
+
+
+class TestSarif:
+    def test_sarif_log_is_valid_and_complete(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        report, code = run_lint(
+            [target], output_format="sarif", use_cache=False
+        )
+        assert code == 1
+        log = json.loads(report)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "sstd-lint"
+        results = run["results"]
+        assert len(results) == 1
+        assert results[0]["ruleId"] == "SSTD001"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        # Every result's ruleId resolves against the declared rules.
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {r["ruleId"] for r in results} <= declared
+
+    def test_sarif_report_written_alongside_text(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        sarif_file = tmp_path / "out.sarif"
+        assert (
+            lint_main(
+                [
+                    str(target),
+                    "--no-cache",
+                    "--sarif-report",
+                    str(sarif_file),
+                ]
+            )
+            == 1
+        )
+        log = json.loads(sarif_file.read_text())
+        assert log["runs"][0]["results"]
+
+    def test_clean_tree_yields_empty_results(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("__all__ = []\n")
+        report, code = run_lint(
+            [target], output_format="sarif", use_cache=False
+        )
+        assert code == 0
+        assert json.loads(report)["runs"][0]["results"] == []
+
+
+class TestNoqaBudget:
+    def test_within_budget_passes(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(SUPPRESSED)
+        _, code = run_lint([target], use_cache=False, noqa_budget=1)
+        assert code == 0
+
+    def test_over_budget_fails_with_count(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(SUPPRESSED)
+        report, code = run_lint([target], use_cache=False, noqa_budget=0)
+        assert code == 1
+        assert "noqa budget exceeded: 1" in report
+
+    def test_docstring_mentions_do_not_count(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            '"""Docs talk about # noqa: SSTD001 freely."""\n\n__all__ = []\n'
+        )
+        stats: dict = {}
+        _, code = run_lint(
+            [target], use_cache=False, noqa_budget=0, stats=stats
+        )
+        assert code == 0
+        assert stats["noqa_count"] == 0
+
+
+class TestChangedOnlyScope:
+    def test_dependents_of_changed_files_are_linted(self, tmp_path):
+        (tmp_path / "leafmod.py").write_text(
+            "__all__ = []\n\n\ndef helper():\n    return 1\n"
+        )
+        (tmp_path / "midmod.py").write_text(
+            "from leafmod import helper\n\n__all__ = []\n\n\n"
+            "def wrap():\n    return helper()\n"
+        )
+        (tmp_path / "island.py").write_text(
+            "__all__ = []\n\n\ndef alone():\n    return 0\n"
+        )
+        stats: dict = {}
+        lint_paths(
+            [tmp_path],
+            changed_only=[tmp_path / "leafmod.py"],
+            stats=stats,
+        )
+        # leafmod itself + its dependent midmod; island stays out.
+        assert stats["files_seen"] == 3
+        assert stats["files_checked"] == 2
+
+    def test_findings_outside_scope_are_dropped(self, tmp_path):
+        (tmp_path / "clean.py").write_text("__all__ = []\n")
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        findings = lint_paths(
+            [tmp_path], changed_only=[tmp_path / "clean.py"]
+        )
+        assert findings == []

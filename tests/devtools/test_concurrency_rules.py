@@ -172,7 +172,11 @@ class Q:
 '''
         findings = blocking_findings(src)
         assert len(findings) == 1
-        assert "calls self._wait(), which blocks" in findings[0].message
+        # Routed through the call-graph summaries: the diagnostic names
+        # the callee and carries the chain down to the blocking leaf.
+        assert "calls Q._wait()" in findings[0].message
+        assert "which may block" in findings[0].message
+        assert "chain Q._wait" in findings[0].message
 
     def test_condition_wait_is_exempt(self):
         src = '''

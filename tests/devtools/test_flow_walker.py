@@ -179,3 +179,78 @@ class TestEscapeTracking:
     def test_immutable_snapshot_is_sanctioned(self):
         flow = flow_of(ESCAPE_SRC)
         assert flow.methods["snapshots_scalar"].escapes == []
+
+
+EDGE_SRC = '''
+import threading
+
+class F:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._items = []  # guarded-by: _a
+
+    def try_finally(self):
+        self._a.acquire()
+        try:
+            self._items.append(1)
+        finally:
+            self._a.release()
+        self._items.append(2)
+
+    def nested_two(self):
+        with self._a:
+            with self._b:
+                self._items.append(3)
+            self._items.append(4)
+
+    def loop_carried(self, xs):
+        for x in xs:
+            self._a.acquire()
+            self._items.append(5)
+            self._a.release()
+        self._items.append(6)
+
+    def exception_path(self, flag):
+        self._a.acquire()
+        if flag:
+            raise ValueError("bad")
+        self._items.append(7)
+        self._a.release()
+'''
+
+
+def edge_accesses(method):
+    flow = flow_of(EDGE_SRC)
+    return [a for a in flow.methods[method].accesses if a.attr == "_items"]
+
+
+class TestEdgeCaseLocksets:
+    def test_try_finally_release_scopes_the_lock(self):
+        held = [("_a" in a.held) for a in edge_accesses("try_finally")]
+        assert held == [True, False]
+        flow = flow_of(EDGE_SRC)
+        assert flow.methods["try_finally"].exit_locks == frozenset()
+
+    def test_nested_with_stacks_and_unstacks_locks(self):
+        accesses = edge_accesses("nested_two")
+        assert accesses[0].held >= {"_a", "_b"}
+        assert "_b" not in accesses[1].held
+        assert "_a" in accesses[1].held
+
+    def test_loop_carried_lockset_converges(self):
+        # The loop body acquires and releases; the fixpoint must not
+        # leak the lock into the loop-exit state (or diverge).
+        held = [("_a" in a.held) for a in edge_accesses("loop_carried")]
+        assert held == [True, False]
+        flow = flow_of(EDGE_SRC)
+        assert flow.methods["loop_carried"].exit_locks == frozenset()
+
+    def test_raise_arm_does_not_poison_the_fallthrough(self):
+        # `if flag: raise` terminates one arm with the lock held; the
+        # fall-through arm still holds it for the guarded access and
+        # releases before exit.
+        held = [("_a" in a.held) for a in edge_accesses("exception_path")]
+        assert held == [True]
+        flow = flow_of(EDGE_SRC)
+        assert flow.methods["exception_path"].exit_locks == frozenset()

@@ -104,3 +104,60 @@ class TestCliCacheBehavior:
         payload = json.loads(report.read_text())
         assert payload["total"] == 1
         assert payload["by_rule"] == {"SSTD001": 1}
+
+
+LEAF = "__all__ = []\n\n\ndef helper():\n    return 1\n"
+MID = (
+    "from leafmod import helper\n\n__all__ = []\n\n\n"
+    "def wrap():\n    return helper()\n"
+)
+ISLAND = "__all__ = []\n\n\ndef alone():\n    return 0\n"
+
+
+def _write_tree(tmp_path):
+    (tmp_path / "leafmod.py").write_text(LEAF)
+    (tmp_path / "midmod.py").write_text(MID)
+    (tmp_path / "island.py").write_text(ISLAND)
+
+
+class TestDependencyInvalidation:
+    def _run(self, tmp_path):
+        from repro.devtools.lint.engine import lint_paths
+
+        cache = LintCache(tmp_path / "cache")
+        stats: dict = {}
+        findings = lint_paths(
+            [tmp_path / p for p in ("leafmod.py", "midmod.py", "island.py")],
+            cache=cache,
+            stats=stats,
+        )
+        return findings, stats
+
+    def test_warm_run_serves_every_file_from_cache(self, tmp_path):
+        _write_tree(tmp_path)
+        _, cold = self._run(tmp_path)
+        assert cold["findings_misses"] == 3
+        _, warm = self._run(tmp_path)
+        assert warm["findings_hits"] == 3
+        assert warm["findings_misses"] == 0
+        assert warm["summary_hits"] == 3
+
+    def test_editing_a_dependency_invalidates_its_dependents(self, tmp_path):
+        _write_tree(tmp_path)
+        self._run(tmp_path)
+        (tmp_path / "leafmod.py").write_text(
+            "__all__ = []\n\n\ndef helper():\n    return 2\n"
+        )
+        _, stats = self._run(tmp_path)
+        # leafmod changed (content key) AND midmod's dependency digest
+        # changed; island is untouched and stays cached.
+        assert stats["findings_misses"] == 2
+        assert stats["findings_hits"] == 1
+
+    def test_old_format_entry_misses_when_meta_requested(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        cache = LintCache(tmp_path / "cache")
+        cache.put(target, RULE_IDS, None, [])  # no silenced/noqa metadata
+        assert cache.get(target, RULE_IDS, None, with_meta=True) is None
+        assert cache.get(target, RULE_IDS, None) == []

@@ -1,0 +1,227 @@
+"""SSTD012: global lock-acquisition-order cycles (project rule)."""
+
+from pathlib import Path
+
+from repro.devtools.lint import all_rules, lint_paths
+
+RULES = all_rules(["SSTD012"])
+
+
+def run_over(tmp_path: Path, files: dict[str, str]):
+    for name, src in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(src)
+    return lint_paths([tmp_path], rules=RULES)
+
+
+CYCLE_SRC = '''
+import threading
+
+__all__ = ["A", "B"]
+
+
+class A:
+    def __init__(self, peer: "B"):
+        self._lock = threading.Lock()
+        self.peer = peer
+
+    def one(self):
+        with self._lock:
+            self.peer.grab()
+
+    def tick(self):
+        with self._lock:
+            pass
+
+
+class B:
+    def __init__(self, mate: "A"):
+        self._lock = threading.Lock()
+        self.mate = mate
+
+    def grab(self):
+        with self._lock:
+            pass
+
+    def two(self):
+        with self._lock:
+            self.mate.tick()
+'''
+
+ORDERED_SRC = '''
+import threading
+
+__all__ = ["A", "B"]
+
+
+class A:
+    def __init__(self, peer: "B"):
+        self._lock = threading.Lock()
+        self.peer = peer
+
+    def one(self):
+        with self._lock:
+            self.peer.grab()
+
+    def also(self):
+        with self._lock:
+            self.peer.grab()
+
+
+class B:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def grab(self):
+        with self._lock:
+            pass
+'''
+
+
+class TestCycleDetection:
+    def test_two_lock_cycle_reported_once_with_chains(self, tmp_path):
+        findings = run_over(tmp_path, {"tangle.py": CYCLE_SRC})
+        assert len(findings) == 1
+        message = findings[0].message
+        assert findings[0].rule_id == "SSTD012"
+        assert "potential deadlock" in message
+        assert "A._lock" in message and "B._lock" in message
+        # Both edges of the representative cycle carry their call chain.
+        assert "A.one" in message and "B.two" in message
+        assert "lock-order:" in message  # remediation hint
+
+    def test_cycle_across_two_modules(self, tmp_path):
+        files = {
+            "alpha.py": '''
+import threading
+
+from beta import B
+
+__all__ = ["A"]
+
+
+class A:
+    def __init__(self, peer: B):
+        self._lock = threading.Lock()
+        self.peer = peer
+
+    def one(self):
+        with self._lock:
+            self.peer.grab()
+
+    def tick(self):
+        with self._lock:
+            pass
+''',
+            "beta.py": '''
+import threading
+
+__all__ = ["B"]
+
+
+class B:
+    def __init__(self, mate):
+        self._lock = threading.Lock()
+        self.mate = mate
+
+    def grab(self):
+        with self._lock:
+            pass
+
+    def two(self):
+        with self._lock:
+            self.mate.tick()
+''',
+        }
+        # beta's mate attribute has no annotation, so close the cycle
+        # through an annotated parameter instead.
+        files["beta.py"] = files["beta.py"].replace(
+            "    def __init__(self, mate):",
+            "    def __init__(self, mate: \"alpha.A\"):",
+        ).replace(
+            "import threading",
+            "import threading\n\nimport alpha",
+        )
+        findings = run_over(tmp_path, files)
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "A._lock" in message and "B._lock" in message
+        assert "A.one" in message and "B.two" in message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        assert run_over(tmp_path, {"ordered.py": ORDERED_SRC}) == []
+
+    def test_noqa_on_anchor_line_suppresses(self, tmp_path):
+        findings = run_over(tmp_path, {"tangle.py": CYCLE_SRC})
+        assert len(findings) == 1
+        anchor_line = findings[0].line
+        lines = CYCLE_SRC.splitlines()
+        lines[anchor_line - 1] += "  # noqa: SSTD012"
+        silenced = "\n".join(lines)
+        assert run_over(tmp_path, {"tangle.py": silenced}) == []
+
+
+class TestLockOrderDeclarations:
+    def test_both_directions_declared_sanctions_audited_cycle(
+        self, tmp_path
+    ):
+        sanctioned = CYCLE_SRC + (
+            "\n"
+            "# lock-order: A._lock < B._lock\n"
+            "# lock-order: B._lock < A._lock\n"
+        )
+        assert run_over(tmp_path, {"tangle.py": sanctioned}) == []
+
+    def test_declared_order_removes_half_the_cycle(self, tmp_path):
+        # Declaring only one direction leaves the reverse edge, which
+        # now *contradicts* the declaration.
+        declared = CYCLE_SRC + "\n# lock-order: A._lock < B._lock\n"
+        findings = run_over(tmp_path, {"tangle.py": declared})
+        assert len(findings) == 1
+        assert "contradicts" in findings[0].message
+
+    def test_contradiction_without_any_cycle(self, tmp_path):
+        declared = ORDERED_SRC + "\n# lock-order: B._lock < A._lock\n"
+        findings = run_over(tmp_path, {"ordered.py": declared})
+        assert len(findings) == 1
+        assert "contradicts" in findings[0].message
+        assert "B._lock" in findings[0].message
+
+    def test_matching_declaration_keeps_clean_tree_clean(self, tmp_path):
+        declared = ORDERED_SRC + "\n# lock-order: A._lock < B._lock\n"
+        assert run_over(tmp_path, {"ordered.py": declared}) == []
+
+
+SELF_DEADLOCK_SRC = '''
+import threading
+
+__all__ = ["S"]
+
+
+class S:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            pass
+'''
+
+
+class TestSelfDeadlock:
+    def test_nonreentrant_reacquire_flagged(self, tmp_path):
+        findings = run_over(tmp_path, {"selfd.py": SELF_DEADLOCK_SRC})
+        assert len(findings) == 1
+        assert "non-reentrant" in findings[0].message
+        assert "S._lock" in findings[0].message
+
+    def test_rlock_reacquire_is_fine(self, tmp_path):
+        rlock = SELF_DEADLOCK_SRC.replace(
+            "threading.Lock()", "threading.RLock()"
+        )
+        assert run_over(tmp_path, {"selfd.py": rlock}) == []
