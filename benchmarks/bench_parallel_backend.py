@@ -22,6 +22,14 @@ sizing, many claims per task sharing one batched HMM kernel call).  The
 ``dispatch_comparison`` JSON section carries both, and the perf-smoke
 gate checks them when the committed baseline has them.
 
+Since PR 7 (schema 3) the process backend ships shard inputs through the
+zero-copy shared-memory data plane by default, and the run measures the
+payload collapse directly: the ``payload_bytes`` section compares bytes
+pickled per task on the legacy path (``zero_copy=False``) against the
+default zero-copy path, and asserts the >= 10x reduction the data plane
+exists to deliver.  The perf-smoke gate holds ``zero_copy_per_task`` to
+a hard byte ceiling on every CI leg, single- or multi-core.
+
 Knobs: ``REPRO_BENCH_SCALE`` scales report volume (CI smoke uses 0.01),
 ``REPRO_BENCH_SEED`` the generator seed.  The workload shape is fixed —
 32 claims over six hours (≈360 ACS grid points per claim) — so per-claim
@@ -85,13 +93,18 @@ def _bench_trace():
 
 
 def _measure(
-    reports, backend: str, workers: int, claims_per_shard: int | None = None
+    reports,
+    backend: str,
+    workers: int,
+    claims_per_shard: int | None = None,
+    zero_copy: bool | None = None,
 ) -> dict:
     config = SSTDSystemConfig(
         n_workers=workers,
         backend=backend,
         control_enabled=False,
         claims_per_shard=claims_per_shard,
+        zero_copy=zero_copy,
     )
     start = time.perf_counter()
     outcome = DistributedSSTD(config).run_batch(reports)
@@ -102,6 +115,8 @@ def _measure(
         "throughput_rps": len(reports) / outcome.makespan,
         "n_jobs": outcome.n_jobs,
         "n_tasks": outcome.n_tasks,
+        "payload_bytes_per_task": outcome.payload_bytes_per_task,
+        "result_bytes_per_task": outcome.result_bytes_per_task,
         "estimates": outcome.estimates,
     }
 
@@ -227,11 +242,32 @@ def test_parallel_backend_throughput():
         "sharded_over_per_claim_speedup": round(dispatch_speedup, 4),
     }
 
+    # Payload collapse: the same workload over the legacy pickled path.
+    # Estimates must stay bit-identical — the data plane is a transport.
+    pickled = _measure(
+        reports, "processes", max_workers, zero_copy=False
+    )
+    assert pickled.pop("estimates") == final_estimates["processes"]
+    zero_copy_bytes = sharded["payload_bytes_per_task"]
+    pickled_bytes = pickled["payload_bytes_per_task"]
+    payload_reduction = pickled_bytes / zero_copy_bytes
+    payload_bytes = {
+        "pickled_per_task": round(pickled_bytes, 1),
+        "zero_copy_per_task": round(zero_copy_bytes, 1),
+        "reduction_factor": round(payload_reduction, 2),
+        "pickled_result_per_task": round(
+            pickled["result_bytes_per_task"], 1
+        ),
+        "zero_copy_result_per_task": round(
+            sharded["result_bytes_per_task"], 1
+        ),
+    }
+
     effective_cpus = _effective_cpu_count()
     phases = _traced_run(reports, max_workers)
     batch_fit = _batch_fit_stats(reports, max_workers)
     payload = {
-        "schema": 2,
+        "schema": 3,
         "benchmark": "parallel_backend",
         "scale": BENCH_SCALE,
         "seed": BENCH_SEED,
@@ -262,6 +298,7 @@ def test_parallel_backend_throughput():
             )
             for key, value in dispatch.items()
         },
+        "payload_bytes": payload_bytes,
         "batch_fit_spans": batch_fit,
         "phases": phases,
     }
@@ -290,6 +327,10 @@ def test_parallel_backend_throughput():
         f"tasks) vs sharded {sharded['throughput_rps']:.1f} rps "
         f"({sharded['n_tasks']} tasks) = {dispatch_speedup:.2f}x"
     )
+    lines.append(
+        f"payload per task: pickled {pickled_bytes:.0f} B vs zero-copy "
+        f"{zero_copy_bytes:.0f} B = {payload_reduction:.1f}x smaller"
+    )
     report_lines("parallel_backend", lines)
 
     # Sanity: every configuration decoded the full claim set, and the
@@ -312,6 +353,14 @@ def test_parallel_backend_throughput():
         table["processes"][max_workers]["throughput_rps"]
         >= 0.9 * table["processes"][1]["throughput_rps"]
     ), "sharded process backend slower at max workers than at 1 worker"
+
+    # The zero-copy plane's reason to exist: shard payloads collapse to
+    # ids + offsets.  Anything under 10x means reports leaked back into
+    # the task pickle (acceptance criterion).
+    assert payload_reduction >= 10.0, (
+        f"zero-copy payload only {payload_reduction:.1f}x smaller than "
+        f"pickled ({zero_copy_bytes:.0f} vs {pickled_bytes:.0f} B/task)"
+    )
 
     # The headline claim only holds where the cores exist to back it:
     # with >= 4 effectively usable cores, processes must at least double

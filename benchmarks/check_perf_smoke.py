@@ -1,23 +1,40 @@
-"""CI perf-smoke gate: fail on large process-backend throughput regressions.
+"""CI perf-smoke gate: fail on large process-backend perf regressions.
 
 Compares a fresh ``BENCH_parallel.json`` (written by
 ``benchmarks/bench_parallel_backend.py``) against the committed baseline
-and exits non-zero when the process backend's batch-TD throughput has
-regressed by more than the allowed factor at any measured worker count,
-or — when the baseline records a ``dispatch_comparison`` section — when
-either dispatch mode (``per_claim`` / ``sharded``) has.
+``benchmarks/baselines/perf_smoke_baseline.json``.
+
+Baselines are schema 3: measurements live under ``legs``, keyed by the
+``effective_cpu_count`` they were recorded at, because a 1-core runner
+and a 4-core runner have *different* truths (on one core the process
+backend legitimately trails threads; on many cores it must beat them).
+The gate picks the leg matching the current run's effective cpu count —
+exact match first, else the largest leg that does not exceed it — and
+applies whichever checks that leg defines:
+
+- ``backends.processes.<workers>.throughput_rps`` — throughput floors
+  (``baseline / REPRO_PERF_REGRESSION_FACTOR``, default factor 2.0);
+- ``dispatch_comparison.{per_claim,sharded}.throughput_rps`` — same
+  floors for the two dispatch modes;
+- ``payload_bytes_ceiling`` — **hard** byte ceiling on the zero-copy
+  ``payload_bytes.zero_copy_per_task``; not scaled by the factor, since
+  serialized bytes are deterministic, not runner-speed dependent;
+- ``process_over_thread_floor`` — minimum
+  ``process_over_thread_speedup_at_max_workers``; the multi-core legs
+  use this to pin the parallelism win itself.
+
+``REPRO_PERF_EXPECT_MIN_CPUS`` makes a leg self-verifying: when set, a
+run on fewer effective cpus exits 2 (runner misconfiguration) instead of
+silently gating against a smaller leg.
 
 Usage::
 
     python benchmarks/check_perf_smoke.py [CURRENT_JSON] [BASELINE_JSON]
 
-Defaults: ``BENCH_parallel.json`` at the repo root and
-``benchmarks/baselines/perf_smoke_baseline.json``.
-
-The tolerance is deliberately loose — ``REPRO_PERF_REGRESSION_FACTOR``
-(default ``2.0``) — because CI runners vary in speed; the gate exists to
-catch algorithmic regressions (an accidental re-serialization of the hot
-path), not 10% noise.  Exit codes: 0 pass, 1 regression, 2 bad input.
+Throughput tolerance is deliberately loose because CI runners vary in
+speed; the gate exists to catch algorithmic regressions (an accidental
+re-serialization of the hot path), not 10% noise.  Exit codes: 0 pass,
+1 regression, 2 bad input/environment.
 """
 
 from __future__ import annotations
@@ -46,6 +63,18 @@ def _load(path: Path) -> dict:
         raise SystemExit(2) from None
 
 
+def _select_leg(legs: dict, effective_cpus: int) -> tuple[str, dict] | None:
+    """The baseline leg for this runner: exact cpu match, else largest <=."""
+    exact = legs.get(str(effective_cpus))
+    if exact is not None:
+        return str(effective_cpus), exact
+    eligible = [int(key) for key in legs if int(key) <= effective_cpus]
+    if not eligible:
+        return None
+    best = str(max(eligible))
+    return best, legs[best]
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     current_path = Path(argv[0]) if len(argv) > 0 else DEFAULT_CURRENT
@@ -67,23 +96,51 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    current_stats = current.get("backends", {}).get(GATED_BACKEND, {})
-    baseline_stats = baseline.get("backends", {}).get(GATED_BACKEND, {})
-    if not current_stats or not baseline_stats:
-        print(f"perf-smoke: no {GATED_BACKEND!r} stats to compare", file=sys.stderr)
+    effective_cpus = int(current.get("effective_cpu_count") or 1)
+    expect_min = os.environ.get("REPRO_PERF_EXPECT_MIN_CPUS")
+    if expect_min is not None and effective_cpus < int(expect_min):
+        print(
+            f"perf-smoke: runner has {effective_cpus} effective cpus but "
+            f"REPRO_PERF_EXPECT_MIN_CPUS={expect_min} — the multi-core leg "
+            "cannot measure what it claims to; fix the runner/matrix",
+            file=sys.stderr,
+        )
         return 2
 
-    failures = []
+    legs = baseline.get("legs")
+    if not isinstance(legs, dict) or not legs:
+        print(
+            "perf-smoke: baseline has no 'legs' section (schema 3 required)",
+            file=sys.stderr,
+        )
+        return 2
+    selected = _select_leg(legs, effective_cpus)
+    if selected is None:
+        print(
+            f"perf-smoke: no baseline leg for {effective_cpus} effective "
+            f"cpus (have {sorted(legs, key=int)})",
+            file=sys.stderr,
+        )
+        return 2
+    leg_key, leg = selected
     print(
-        f"perf-smoke: {GATED_BACKEND} throughput vs baseline "
-        f"(allowed regression {factor:.1f}x)"
+        f"perf-smoke: {effective_cpus} effective cpus -> baseline leg "
+        f"{leg_key!r} (allowed throughput regression {factor:.1f}x)"
     )
-    for workers in sorted(baseline_stats, key=int):
-        base = baseline_stats[workers].get("throughput_rps")
+
+    failures: list[str] = []
+
+    # --- throughput floors per worker count -------------------------------
+    leg_stats = leg.get("backends", {}).get(GATED_BACKEND, {})
+    current_stats = current.get("backends", {}).get(GATED_BACKEND, {})
+    for workers in sorted(leg_stats, key=int):
+        base = leg_stats[workers].get("throughput_rps")
         now = current_stats.get(workers, {}).get("throughput_rps")
-        if base is None or now is None:
+        if base is None:
+            continue
+        if now is None:
             print(f"  {workers}w: missing throughput_rps", file=sys.stderr)
-            failures.append(workers)
+            failures.append(f"{workers}w")
             continue
         floor = base / factor
         verdict = "ok" if now >= floor else "REGRESSED"
@@ -92,14 +149,13 @@ def main(argv: list[str] | None = None) -> int:
             f"floor {floor:.1f})  {verdict}"
         )
         if now < floor:
-            failures.append(workers)
+            failures.append(f"{workers}w")
 
-    # Dispatch-mode gate: only when the committed baseline carries the
-    # section (older baselines predate sharded dispatch).
-    baseline_dispatch = baseline.get("dispatch_comparison", {})
+    # --- dispatch-mode floors ---------------------------------------------
+    leg_dispatch = leg.get("dispatch_comparison", {})
     current_dispatch = current.get("dispatch_comparison", {})
     for mode in ("per_claim", "sharded"):
-        base = baseline_dispatch.get(mode, {}).get("throughput_rps")
+        base = leg_dispatch.get(mode, {}).get("throughput_rps")
         if base is None:
             continue
         now = current_dispatch.get(mode, {}).get("throughput_rps")
@@ -116,10 +172,47 @@ def main(argv: list[str] | None = None) -> int:
         if now < floor:
             failures.append(f"dispatch:{mode}")
 
+    # --- zero-copy payload ceiling (hard, factor-independent) -------------
+    ceiling = leg.get("payload_bytes_ceiling")
+    if ceiling is not None:
+        now = current.get("payload_bytes", {}).get("zero_copy_per_task")
+        if now is None:
+            print(
+                "  payload: missing payload_bytes.zero_copy_per_task",
+                file=sys.stderr,
+            )
+            failures.append("payload")
+        else:
+            verdict = "ok" if now <= ceiling else "EXCEEDED"
+            print(
+                f"  payload: {now:>10.1f} B/task  (hard ceiling {ceiling}) "
+                f" {verdict}"
+            )
+            if now > ceiling:
+                failures.append("payload")
+
+    # --- process-over-thread floor ----------------------------------------
+    pvt_floor = leg.get("process_over_thread_floor")
+    if pvt_floor is not None:
+        now = current.get("process_over_thread_speedup_at_max_workers")
+        if now is None:
+            print(
+                "  process/threads: missing speedup measurement",
+                file=sys.stderr,
+            )
+            failures.append("process_over_thread")
+        else:
+            verdict = "ok" if now >= pvt_floor else "BELOW FLOOR"
+            print(
+                f"  process/threads: {now:>6.2f}x  (floor {pvt_floor}) "
+                f" {verdict}"
+            )
+            if now < pvt_floor:
+                failures.append("process_over_thread")
+
     if failures:
         print(
-            f"perf-smoke: throughput regressed >{factor:.1f}x at "
-            f"{', '.join(failures)}",
+            f"perf-smoke: gate failed at {', '.join(failures)}",
             file=sys.stderr,
         )
         return 1

@@ -48,7 +48,7 @@ from repro.hmm.utils import (
     normalize_rows,
 )
 
-__all__ = ["BatchGaussianHMM", "stack_ragged"]
+__all__ = ["BatchGaussianHMM", "ragged_views", "stack_ragged"]
 
 
 def stack_ragged(
@@ -78,6 +78,32 @@ def stack_ragged(
     for row, src in enumerate(order):
         observations[row, : sizes[src]] = arrays[src]
     return observations, sizes[order], order
+
+
+def ragged_views(stack: np.ndarray, lengths: np.ndarray) -> list[np.ndarray]:
+    """Zero-copy per-row views over an externally owned padded stack.
+
+    ``stack`` is an ``(N, T)`` NaN-padded matrix whose rows belong to
+    sequences of ``lengths[row]`` real entries — the layout the
+    shared-memory data plane publishes.  Returns ``stack[row,
+    :lengths[row]]`` for every row *without copying*: the views alias
+    the caller's buffer (shared memory included) and inherit its
+    read-only flag, which every kernel in this module accepts — the
+    first thing :func:`stack_ragged` / the recursions do with input is
+    copy into their own working layout.  Rows may be any length order
+    here; zero-length rows yield empty views.
+    """
+    stack = np.asarray(stack)
+    if stack.ndim != 2:
+        raise ValueError(f"stack must be (N, T), got shape {stack.shape}")
+    lengths = np.asarray(lengths, dtype=int)
+    if lengths.shape != (stack.shape[0],):
+        raise ValueError(
+            f"lengths must have shape ({stack.shape[0]},), got {lengths.shape}"
+        )
+    if (lengths < 0).any() or (lengths > stack.shape[1]).any():
+        raise ValueError("lengths must be in [0, T]")
+    return [stack[row, : int(lengths[row])] for row in range(stack.shape[0])]
 
 
 class BatchGaussianHMM:

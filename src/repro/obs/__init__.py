@@ -28,6 +28,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import (
+    BYTE_BUCKETS,
     DEFAULT_BUCKETS,
     HistogramSnapshot,
     MetricRegistry,
@@ -38,6 +39,7 @@ from repro.obs.runtime import Observability, env_enabled, get_obs, set_obs, usin
 from repro.obs.spans import SpanEvent, SpanTracer
 
 __all__ = [
+    "BYTE_BUCKETS",
     "Clock",
     "DEFAULT_BUCKETS",
     "HistogramSnapshot",

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 __all__ = [
+    "BYTE_BUCKETS",
     "DEFAULT_BUCKETS",
     "HistogramSnapshot",
     "MetricRegistry",
@@ -48,6 +49,21 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     5.0,
     10.0,
     60.0,
+)
+
+#: Histogram boundaries in bytes, for payload/result-size series
+#: (``wq.payload_bytes`` / ``wq.result_bytes``): spans tiny zero-copy
+#: specs (hundreds of bytes) through multi-megabyte pickled stacks.
+BYTE_BUCKETS: tuple[float, ...] = (
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
 )
 
 

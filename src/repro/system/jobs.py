@@ -12,17 +12,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.core.acs import acs_sequence
 from repro.core.sstd import ClaimTruthModel, SSTDConfig, batch_fit_decode
-from repro.core.types import Report, TruthEstimate
+from repro.core.types import Report, TruthEstimate, TruthValue
+from repro.hmm.batch import ragged_views
+from repro.system import shm
 from repro.workqueue.task import PayloadSpec, Task
 
 __all__ = [
+    "ClaimStack",
     "TDJob",
+    "build_claim_stack",
     "decode_claim_payload",
     "decode_shard_payload",
+    "decode_shard_shm_payload",
     "decode_task_spec",
+    "expand_shard_result",
     "shard_task_spec",
+    "shm_shard_task_spec",
     "streaming_push_payload",
 ]
 
@@ -98,6 +107,182 @@ def shard_task_spec(
         (claim_id, tuple(reports)) for claim_id, reports in claims
     )
     return PayloadSpec(decode_shard_payload, (frozen, config, start, end))
+
+
+@dataclass(frozen=True)
+class ClaimStack:
+    """NaN-padded per-claim ACS observation stacks, ready to publish.
+
+    The master runs :func:`repro.core.acs.acs_sequence` once per claim
+    and packs the results into ``(N, T_max)`` matrices — row order is
+    ``claim_ids`` order, padding is NaN, real per-row extents live in
+    ``lengths``.  This is the unit the zero-copy data plane ships: a
+    shard task references rows of a published stack instead of carrying
+    pickled report tuples.
+    """
+
+    claim_ids: tuple[str, ...]
+    times: np.ndarray
+    values: np.ndarray
+    lengths: np.ndarray
+
+    def row_of(self, claim_id: str) -> int:
+        return self.claim_ids.index(claim_id)
+
+    def publish(self) -> shm.SegmentOwner:
+        """Publish the stacks into one shared-memory segment (or fallback)."""
+        return shm.publish_arrays(
+            {"times": self.times, "values": self.values, "lengths": self.lengths}
+        )
+
+
+def build_claim_stack(
+    claims: Sequence[tuple[str, Sequence[Report]]],
+    config: SSTDConfig,
+    start: float | None = None,
+    end: float | None = None,
+) -> ClaimStack:
+    """Compute every claim's ACS sequence and pack it into one stack.
+
+    Runs exactly the same ``acs_sequence`` call the worker-side payloads
+    run, so decoding from the stack is bit-identical to decoding from
+    the raw reports — the ACS grid just gets computed once, on the
+    master, instead of once per task attempt on the workers.
+    """
+    claim_ids: list[str] = []
+    sequences: list[tuple[np.ndarray, np.ndarray]] = []
+    for claim_id, reports in claims:
+        times, values = acs_sequence(reports, config.acs, start=start, end=end)
+        claim_ids.append(claim_id)
+        sequences.append((times, values))
+    t_max = max((times.size for times, _ in sequences), default=0)
+    t_max = max(t_max, 1)
+    n_claims = len(claim_ids)
+    times_stack = np.full((n_claims, t_max), np.nan)
+    values_stack = np.full((n_claims, t_max), np.nan)
+    lengths = np.zeros(n_claims, dtype=np.int64)
+    for row, (times, values) in enumerate(sequences):
+        lengths[row] = times.size
+        times_stack[row, : times.size] = times
+        values_stack[row, : values.size] = values
+    return ClaimStack(
+        claim_ids=tuple(claim_ids),
+        times=times_stack,
+        values=values_stack,
+        lengths=lengths,
+    )
+
+
+def decode_shard_shm_payload(
+    claim_ids: tuple[str, ...],
+    rows: tuple[int, ...],
+    handle: shm.SegmentHandle,
+    config: SSTDConfig,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode a shard of claims straight out of a published stack.
+
+    The worker attaches zero-copy read-only views onto the published
+    ``times`` / ``values`` stacks, feeds its rows to the same
+    :func:`repro.core.sstd.batch_fit_decode` call the legacy payload
+    uses, and returns a *compact* result: one contiguous ``int8`` array
+    of decoded truth codes and one ``float64`` array of confidences,
+    concatenated in shard claim order.  The master reconstructs full
+    :class:`~repro.core.types.TruthEstimate` objects with
+    :func:`expand_shard_result` — it already owns the timestamps, so
+    shipping them back would only re-pickle what the stack holds.
+    """
+    with shm.attach(handle) as segment:
+        times_stack = segment.array("times")
+        values_stack = segment.array("values")
+        lengths = segment.array("lengths")
+        times_rows = ragged_views(times_stack, lengths)
+        values_rows = ragged_views(values_stack, lengths)
+        items = [
+            (claim_id, times_rows[row], values_rows[row])
+            for claim_id, row in zip(claim_ids, rows)
+        ]
+        results = batch_fit_decode(items, config)
+        n_estimates = sum(len(result.values) for result in results)
+        codes = np.fromiter(
+            (int(value) for result in results for value in result.values),
+            dtype=np.int8,
+            count=n_estimates,
+        )
+        confidences = np.fromiter(
+            (
+                estimate.confidence
+                for result in results
+                for estimate in result.estimates
+            ),
+            dtype=np.float64,
+            count=n_estimates,
+        )
+        # Drop every object that aliases the segment before detaching so
+        # the close path can really unmap (kept-alive views only delay
+        # reclamation, they never corrupt: the arrays above are copies).
+        del items, results, times_rows, values_rows
+        del times_stack, values_stack, lengths
+    return codes, confidences
+
+
+def shm_shard_task_spec(
+    stack: ClaimStack,
+    shard: Sequence[str],
+    handle: shm.SegmentHandle,
+    config: SSTDConfig,
+) -> PayloadSpec:
+    """Picklable zero-copy payload spec: claim ids + row offsets only.
+
+    The pickled spec is O(claims in the shard) — ids, row indices, the
+    segment handle, the engine config — instead of the legacy payload's
+    O(reports) pickled report tuples.
+    """
+    rows = tuple(stack.row_of(claim_id) for claim_id in shard)
+    return PayloadSpec(
+        decode_shard_shm_payload, (tuple(shard), rows, handle, config)
+    )
+
+
+def expand_shard_result(
+    stack: ClaimStack,
+    claim_ids: Sequence[str],
+    codes: np.ndarray,
+    confidences: np.ndarray,
+) -> tuple[tuple[str, tuple[TruthEstimate, ...]], ...]:
+    """Rebuild per-claim estimates from a compact shard result.
+
+    Inverse of the packing in :func:`decode_shard_shm_payload`; uses the
+    master's own copy of the published timestamps, so reconstructed
+    estimates are field-for-field identical to what the legacy payload
+    would have pickled back.
+    """
+    pairs: list[tuple[str, tuple[TruthEstimate, ...]]] = []
+    cursor = 0
+    for claim_id in claim_ids:
+        row = stack.row_of(claim_id)
+        length = int(stack.lengths[row])
+        times = stack.times[row, :length]
+        estimates = tuple(
+            TruthEstimate(
+                claim_id=claim_id,
+                timestamp=float(t),
+                value=TruthValue(int(code)),
+                confidence=float(confidence),
+            )
+            for t, code, confidence in zip(
+                times,
+                codes[cursor : cursor + length],
+                confidences[cursor : cursor + length],
+            )
+        )
+        cursor += length
+        pairs.append((claim_id, estimates))
+    if cursor != int(np.asarray(codes).size):
+        raise ValueError(
+            f"shard result carries {np.asarray(codes).size} estimates, "
+            f"expected {cursor} for claims {list(claim_ids)}"
+        )
+    return tuple(pairs)
 
 
 def streaming_push_payload(

@@ -38,8 +38,11 @@ from repro.system.deadline import DeadlineTracker
 from repro.system.dtm import DTMConfig, DynamicTaskManager
 from repro.system.jobs import (
     TDJob,
+    build_claim_stack,
     decode_task_spec,
+    expand_shard_result,
     shard_task_spec,
+    shm_shard_task_spec,
     streaming_push_payload,
 )
 from repro.workqueue.local import LocalWorkQueue
@@ -121,6 +124,21 @@ class SSTDSystemConfig:
             row-deterministic), so this is purely a throughput knob.
             The simulated backend keeps one job per claim: jobs are the
             unit its control loop steers.
+        zero_copy: Ship shard inputs through the shared-memory data
+            plane (:mod:`repro.system.shm`): the master computes every
+            claim's ACS observation stack once, publishes it into a
+            named ``multiprocessing.shared_memory`` segment, and each
+            task carries only claim ids + row offsets + the segment
+            handle — O(claims) pickled bytes instead of O(reports).
+            Workers attach zero-copy read-only views and return compact
+            ``(state codes, confidences)`` arrays that the master
+            expands back into estimates; results are bit-identical to
+            the pickled-report path.  ``None`` (default) enables it for
+            the ``processes`` backend (where serialization is the tax
+            being killed) and keeps the in-memory path for ``threads``;
+            ``True``/``False`` force it.  Where shared memory is
+            unavailable the plane degrades to an inline-bytes payload
+            with the same layout.  The simulated backend is unaffected.
         drain_timeout: Wall-clock cap (seconds) on one ``drain`` of the
             real backends before the run aborts with ``TimeoutError``.
         observability: Record spans and metrics for the run (exposed on
@@ -147,6 +165,7 @@ class SSTDSystemConfig:
     drain_timeout: float = 600.0
     observability: bool | None = None
     claims_per_shard: int | None = None
+    zero_copy: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -171,6 +190,10 @@ class BatchRunResult:
 
     On the real backends claims are dispatched in shards, so ``n_tasks``
     (shards executed) can be smaller than ``n_jobs`` (claims decoded).
+    ``payload_bytes_per_task`` / ``result_bytes_per_task`` average the
+    serialized bytes each task actually shipped across the process
+    boundary (``None`` on executors that never serialize — simulated and
+    threads); the parallel-backend benchmark gates the payload number.
     """
 
     estimates: tuple[TruthEstimate, ...]
@@ -180,6 +203,8 @@ class BatchRunResult:
     total_busy_time: float
     worker_count: int
     peak_worker_count: int
+    payload_bytes_per_task: float | None = None
+    result_bytes_per_task: float | None = None
 
     @property
     def utilization(self) -> float:
@@ -377,6 +402,26 @@ class DistributedSSTD:
                 f"{failed[0].job_id!r}: {first}{detail}"
             )
 
+    def _use_zero_copy(self) -> bool:
+        """Resolve the data-plane choice for the real backends.
+
+        ``None`` (auto) turns the shared-memory plane on exactly where
+        serialization is the tax being paid — the process backend; the
+        thread backend shares the master's heap, so its legacy in-memory
+        payloads are already zero-copy.
+        """
+        if self.config.zero_copy is not None:
+            return self.config.zero_copy
+        return self.config.backend == "processes"
+
+    @staticmethod
+    def _mean_bytes(sizes: Sequence[int | None]) -> float | None:
+        """Mean of the non-``None`` sizes; ``None`` when nothing shipped."""
+        shipped = [size for size in sizes if size is not None]
+        if not shipped:
+            return None
+        return sum(shipped) / len(shipped)
+
     def _claims_per_shard(self, n_claims: int) -> int:
         """Resolve the shard size: explicit config or one shard per lane.
 
@@ -423,30 +468,52 @@ class DistributedSSTD:
         shards = self._make_shards(
             claim_ids, self._claims_per_shard(len(claim_ids))
         )
+        zero_copy = self._use_zero_copy()
         n_workers = min(config.n_workers, max(1, len(shards)))
         executor = self._make_executor(n_workers)
         clock_start = self.obs.clock.now()
+        stack = None
+        owner = None
+        shard_claims: dict[str, list[str]] = {}
         try:
             with using(self.obs):
+                if zero_copy:
+                    stack = build_claim_stack(
+                        [(c, grouped[c]) for c in claim_ids],
+                        config.sstd,
+                        start,
+                        end,
+                    )
+                    owner = stack.publish()
                 for shard in shards:
+                    job_id = _shard_job_id(shard)
+                    shard_claims[job_id] = shard
+                    if zero_copy:
+                        fn = shm_shard_task_spec(
+                            stack, shard, owner.handle, config.sstd
+                        )
+                    else:
+                        fn = shard_task_spec(
+                            [(c, grouped[c]) for c in shard],
+                            config.sstd,
+                            start,
+                            end,
+                        )
                     executor.submit(
                         Task(
-                            job_id=_shard_job_id(shard),
+                            job_id=job_id,
                             data_size=float(
                                 sum(len(grouped[c]) for c in shard)
                             ),
-                            fn=shard_task_spec(
-                                [(c, grouped[c]) for c in shard],
-                                config.sstd,
-                                start,
-                                end,
-                            ),
+                            fn=fn,
                         )
                     )
                 submitted_at = self.obs.clock.now()
                 results = executor.drain(timeout=config.drain_timeout)
         finally:
             executor.shutdown()
+            if owner is not None:
+                owner.close_and_unlink()
         makespan = self.obs.clock.now() - clock_start
         if self.obs.enabled:
             self.obs.tracer.record_span(
@@ -455,6 +522,7 @@ class DistributedSSTD:
                 end=submitted_at,
                 track="system",
                 n_tasks=len(shards),
+                zero_copy=zero_copy,
             )
             self.obs.tracer.record_span(
                 "system.run_batch",
@@ -469,7 +537,14 @@ class DistributedSSTD:
 
         estimates: list[TruthEstimate] = []
         for result in results:
-            for _claim_id, claim_estimates in result.output or ():
+            if zero_copy:
+                codes, confidences = result.output
+                pairs = expand_shard_result(
+                    stack, shard_claims[result.job_id], codes, confidences
+                )
+            else:
+                pairs = result.output or ()
+            for _claim_id, claim_estimates in pairs:
                 estimates.extend(claim_estimates)
         estimates.sort(key=lambda e: (e.claim_id, e.timestamp))
         return BatchRunResult(
@@ -480,6 +555,12 @@ class DistributedSSTD:
             total_busy_time=sum(r.wall_time for r in results),
             worker_count=n_workers,
             peak_worker_count=n_workers,
+            payload_bytes_per_task=self._mean_bytes(
+                [r.payload_bytes for r in results]
+            ),
+            result_bytes_per_task=self._mean_bytes(
+                [r.result_bytes for r in results]
+            ),
         )
 
     def _run_intervals_real(
@@ -503,6 +584,7 @@ class DistributedSSTD:
         config = self.config
         tracker = DeadlineTracker(deadline=deadline)
         estimates: list[TruthEstimate] = []
+        zero_copy = self._use_zero_copy()
 
         span = trace.end - trace.start
         if span <= 0:
@@ -525,29 +607,52 @@ class DistributedSSTD:
                     by_claim[report.claim_id].append(report)
 
                 interval_start = self.obs.clock.now()
-                with using(self.obs):
-                    claim_ids = sorted(by_claim)
-                    for claim_id in claim_ids:
-                        history[claim_id].extend(by_claim[claim_id])
-                    shards = self._make_shards(
-                        claim_ids, self._claims_per_shard(len(claim_ids))
-                    )
-                    for shard in shards:
-                        executor.submit(
-                            Task(
-                                job_id=_shard_job_id(shard),
-                                data_size=float(
-                                    sum(len(history[c]) for c in shard)
-                                ),
-                                fn=shard_task_spec(
+                stack = None
+                owner = None
+                shard_claims: dict[str, list[str]] = {}
+                try:
+                    with using(self.obs):
+                        claim_ids = sorted(by_claim)
+                        for claim_id in claim_ids:
+                            history[claim_id].extend(by_claim[claim_id])
+                        shards = self._make_shards(
+                            claim_ids, self._claims_per_shard(len(claim_ids))
+                        )
+                        if zero_copy and claim_ids:
+                            stack = build_claim_stack(
+                                [(c, history[c]) for c in claim_ids],
+                                config.sstd,
+                                trace.start,
+                                hi,
+                            )
+                            owner = stack.publish()
+                        for shard in shards:
+                            job_id = _shard_job_id(shard)
+                            shard_claims[job_id] = shard
+                            if stack is not None:
+                                fn = shm_shard_task_spec(
+                                    stack, shard, owner.handle, config.sstd
+                                )
+                            else:
+                                fn = shard_task_spec(
                                     [(c, history[c]) for c in shard],
                                     config.sstd,
                                     trace.start,
                                     hi,
-                                ),
+                                )
+                            executor.submit(
+                                Task(
+                                    job_id=job_id,
+                                    data_size=float(
+                                        sum(len(history[c]) for c in shard)
+                                    ),
+                                    fn=fn,
+                                )
                             )
-                        )
-                    results = executor.drain(timeout=config.drain_timeout)
+                        results = executor.drain(timeout=config.drain_timeout)
+                finally:
+                    if owner is not None:
+                        owner.close_and_unlink()
                 execution_time = self.obs.clock.now() - interval_start
                 if self.obs.enabled:
                     self.obs.tracer.record_span(
@@ -561,7 +666,17 @@ class DistributedSSTD:
                 self._check_failures(results)
                 if compute_estimates:
                     for result in results:
-                        for claim_id, claim_estimates in result.output or ():
+                        if stack is not None:
+                            codes, confidences = result.output
+                            pairs = expand_shard_result(
+                                stack,
+                                shard_claims[result.job_id],
+                                codes,
+                                confidences,
+                            )
+                        else:
+                            pairs = result.output or ()
+                        for claim_id, claim_estimates in pairs:
                             since = emitted_until.get(
                                 claim_id, float("-inf")
                             )

@@ -37,7 +37,12 @@ class LocalResult:
     worker-side :class:`repro.obs.MetricsSnapshot` for this task (the
     process backend's channel for shipping engine metrics back to the
     master); ``None`` when tracing is off or the backend records into
-    the master registry directly.
+    the master registry directly.  ``payload_bytes`` / ``result_bytes``
+    are the serialized sizes the task actually shipped across the
+    process boundary (payload out, output back); ``None`` on in-process
+    executors, which never serialize.  The parallel-backend benchmark
+    and the ``wq.payload_bytes`` / ``wq.result_bytes`` histograms read
+    the same numbers, so the bench and a live operator agree.
     """
 
     task_id: int
@@ -47,6 +52,8 @@ class LocalResult:
     wall_time: float
     error: Optional[TaskError] = None
     metrics: Optional[MetricsSnapshot] = None
+    payload_bytes: Optional[int] = None
+    result_bytes: Optional[int] = None
 
     @property
     def ok(self) -> bool:

@@ -40,7 +40,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.obs import MetricsSnapshot, Observability, WallClock, using
+from repro.obs import BYTE_BUCKETS, MetricsSnapshot, Observability, WallClock, using
 from repro.workqueue.local import LocalResult
 from repro.workqueue.task import Task, TaskError
 
@@ -110,6 +110,7 @@ def _worker_main(
                 clock.now() - start,
                 error,
                 metrics,
+                len(payload_bytes),
             )
         )
 
@@ -331,11 +332,15 @@ class ProcessWorkQueue:
             return True
         task.attempts += 1
         task.tried_workers.add(worker.name)
+        task.payload_bytes = len(payload_bytes)
         worker.current = task
         worker.dispatched_at = self.obs.clock.now()
         worker.inbox.put((task.task_id, task.job_id, payload_bytes))
         if self.obs.enabled:
             self.obs.metrics.inc("wq.dispatched")
+            self.obs.metrics.observe(
+                "wq.payload_bytes", len(payload_bytes), bounds=BYTE_BUCKETS
+            )
         return True
 
     def _handle_result(self, item: tuple) -> None:
@@ -348,9 +353,14 @@ class ProcessWorkQueue:
                 if worker.name == worker_name:
                     worker.current = None
         metrics = item[6] if len(item) > 6 else None
+        payload_nbytes = item[7] if len(item) > 7 else None
+        result_nbytes = len(output_bytes)
         if self.obs.enabled:
             self.obs.metrics.inc("wq.completed")
             self.obs.metrics.observe("wq.task_seconds", wall_time)
+            self.obs.metrics.observe(
+                "wq.result_bytes", result_nbytes, bounds=BYTE_BUCKETS
+            )
             end = self.obs.clock.now()
             self.obs.tracer.record_span(
                 "wq.task",
@@ -372,6 +382,8 @@ class ProcessWorkQueue:
                 wall_time=wall_time,
                 error=error,
                 metrics=metrics,
+                payload_bytes=payload_nbytes,
+                result_bytes=result_nbytes,
             )
         )
 
@@ -417,6 +429,7 @@ class ProcessWorkQueue:
                         f"on workers {sorted(task.tried_workers)}"
                     ),
                 ),
+                payload_bytes=task.payload_bytes,
             )
         )
 

@@ -146,6 +146,12 @@ class Task:
         submitted_at: Virtual time of submission (set by the master).
         attempts: Executions started so far (managed by the master).
         tried_workers: Worker names that already attempted this task.
+        payload_bytes: Size of the serialized payload actually shipped to
+            a worker, recorded at first dispatch by executors that cross
+            a process boundary (``None`` on in-process executors, which
+            never serialize).  This is the per-task number the
+            ``wq.payload_bytes`` histogram and the perf-smoke
+            ``payload_bytes_per_task`` gate aggregate.
     """
 
     job_id: str
@@ -157,6 +163,7 @@ class Task:
     submitted_at: float = 0.0
     attempts: int = 0
     tried_workers: set = field(default_factory=set)
+    payload_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:

@@ -132,3 +132,105 @@ class TestShardParityAcrossBackends:
         assert sharded.estimates == per_claim.estimates
         seen = [(e.claim_id, e.timestamp) for e in sharded.estimates]
         assert len(seen) == len(set(seen))
+
+
+class TestZeroCopyParity:
+    """The shared-memory data plane is a transport, never a semantics knob."""
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_zero_copy_matches_per_claim_serial(
+        self, backend, trace, per_claim_serial
+    ):
+        config = SSTDSystemConfig(
+            n_workers=2, backend=backend, zero_copy=True
+        )
+        outcome = DistributedSSTD(config).run_batch(list(trace.reports))
+        assert list(outcome.estimates) == per_claim_serial
+
+    @pytest.mark.parametrize("claims_per_shard", [1, 3, 100])
+    def test_zero_copy_shard_size_never_changes_estimates(
+        self, claims_per_shard, trace, per_claim_serial
+    ):
+        config = SSTDSystemConfig(
+            n_workers=2,
+            backend="processes",
+            zero_copy=True,
+            claims_per_shard=claims_per_shard,
+        )
+        outcome = DistributedSSTD(config).run_batch(list(trace.reports))
+        assert list(outcome.estimates) == per_claim_serial
+
+    def test_bytes_fallback_matches_per_claim_serial(
+        self, monkeypatch, trace, per_claim_serial
+    ):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        config = SSTDSystemConfig(
+            n_workers=2, backend="processes", zero_copy=True
+        )
+        outcome = DistributedSSTD(config).run_batch(list(trace.reports))
+        assert list(outcome.estimates) == per_claim_serial
+
+    def test_forced_off_legacy_path_matches(self, trace, per_claim_serial):
+        config = SSTDSystemConfig(
+            n_workers=2, backend="processes", zero_copy=False
+        )
+        outcome = DistributedSSTD(config).run_batch(list(trace.reports))
+        assert list(outcome.estimates) == per_claim_serial
+
+    def test_auto_resolution(self):
+        assert DistributedSSTD(
+            SSTDSystemConfig(backend="processes")
+        )._use_zero_copy()
+        assert not DistributedSSTD(
+            SSTDSystemConfig(backend="threads")
+        )._use_zero_copy()
+        assert DistributedSSTD(
+            SSTDSystemConfig(backend="threads", zero_copy=True)
+        )._use_zero_copy()
+        assert not DistributedSSTD(
+            SSTDSystemConfig(backend="processes", zero_copy=False)
+        )._use_zero_copy()
+
+    def test_zero_copy_interval_replay_matches_legacy(self, trace):
+        base = SSTDSystemConfig(
+            n_workers=2, backend="processes", deadline=30.0
+        )
+        legacy = DistributedSSTD(
+            dataclasses.replace(base, zero_copy=False)
+        ).run_intervals(trace, n_intervals=3, compute_estimates=True)
+        zero_copy = DistributedSSTD(
+            dataclasses.replace(base, zero_copy=True)
+        ).run_intervals(trace, n_intervals=3, compute_estimates=True)
+        assert zero_copy.estimates == legacy.estimates
+        seen = [(e.claim_id, e.timestamp) for e in zero_copy.estimates]
+        assert len(seen) == len(set(seen))
+
+    def test_payload_collapse_vs_pickled_path(self, trace):
+        # The acceptance bar: shipping row offsets instead of pickled
+        # report stacks must shrink the per-task payload >= 10x.
+        base = SSTDSystemConfig(n_workers=2, backend="processes")
+        pickled = DistributedSSTD(
+            dataclasses.replace(base, zero_copy=False)
+        ).run_batch(list(trace.reports))
+        zero_copy = DistributedSSTD(
+            dataclasses.replace(base, zero_copy=True)
+        ).run_batch(list(trace.reports))
+        assert pickled.payload_bytes_per_task is not None
+        assert zero_copy.payload_bytes_per_task is not None
+        ratio = pickled.payload_bytes_per_task / zero_copy.payload_bytes_per_task
+        assert ratio >= 10.0, (
+            f"zero-copy payload only {ratio:.1f}x smaller "
+            f"({zero_copy.payload_bytes_per_task:.0f} vs "
+            f"{pickled.payload_bytes_per_task:.0f} bytes/task)"
+        )
+        assert zero_copy.result_bytes_per_task is not None
+        assert (
+            zero_copy.result_bytes_per_task < pickled.result_bytes_per_task
+        )
+
+    def test_threads_report_no_payload_bytes(self, trace):
+        outcome = DistributedSSTD(
+            SSTDSystemConfig(n_workers=2, backend="threads")
+        ).run_batch(list(trace.reports))
+        assert outcome.payload_bytes_per_task is None
+        assert outcome.result_bytes_per_task is None
