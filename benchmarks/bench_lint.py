@@ -1,0 +1,119 @@
+"""Lint-engine wall-time benchmark: cold vs warm cache over src/repro.
+
+The whole-program layers added in PRs 6–8 (call graph, lock-order
+fixpoint, exception-escape fixpoint, resource-lifecycle walker) are
+only sustainable if the ``.lint_cache`` keeps the *warm* developer loop
+fast: an unchanged tree should re-lint from cached summaries and
+findings in a fraction of the cold time.  This benchmark measures both
+runs against a fresh cache directory and writes ``BENCH_lint.json``:
+
+- ``cold_s`` / ``warm_s`` — wall time of the first (empty-cache) and
+  second (fully warm) run;
+- ``warm_summary_hit_rate`` / ``warm_findings_hit_rate`` — cache
+  effectiveness on the warm run (1.0 = nothing re-analyzed);
+- ``files`` / ``findings`` — scope sanity numbers.
+
+``benchmarks/check_lint_perf.py`` gates the warm time against the
+committed budget in ``benchmarks/baselines/lint_perf_baseline.json``.
+
+Usage::
+
+    python benchmarks/bench_lint.py [--paths src/repro] [--out BENCH_lint.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+__all__ = ["main", "run_once"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.devtools.lint import all_rules, lint_paths  # noqa: E402
+from repro.devtools.lint.cache import LintCache  # noqa: E402
+
+
+def run_once(paths: list[Path], cache_dir: Path) -> dict:
+    """One timed lint pass; returns wall time plus cache stats."""
+    stats: dict = {}
+    cache = LintCache(cache_dir)
+    start = time.perf_counter()
+    findings = lint_paths(paths, rules=all_rules(), cache=cache, stats=stats)
+    elapsed = time.perf_counter() - start
+    return {
+        "elapsed_s": elapsed,
+        "findings": len(findings),
+        "files": stats.get("files_seen", 0),
+        "summary_hits": stats.get("summary_hits", 0),
+        "summary_misses": stats.get("summary_misses", 0),
+        "findings_hits": stats.get("findings_hits", 0),
+        "findings_misses": stats.get("findings_misses", 0),
+    }
+
+
+def _hit_rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--paths",
+        nargs="*",
+        type=Path,
+        default=[REPO_ROOT / "src" / "repro"],
+        help="paths to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_lint.json",
+        help="output JSON path (default: BENCH_lint.json)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="lint_bench_cache_") as tmp:
+        cache_dir = Path(tmp)
+        cold = run_once(args.paths, cache_dir)
+        warm = run_once(args.paths, cache_dir)
+
+    payload = {
+        "schema": 1,
+        "paths": [str(p) for p in args.paths],
+        "files": cold["files"],
+        "findings": cold["findings"],
+        "cold_s": round(cold["elapsed_s"], 4),
+        "warm_s": round(warm["elapsed_s"], 4),
+        "warm_over_cold": round(
+            warm["elapsed_s"] / cold["elapsed_s"], 4
+        )
+        if cold["elapsed_s"]
+        else 0.0,
+        "warm_summary_hit_rate": round(
+            _hit_rate(warm["summary_hits"], warm["summary_misses"]), 4
+        ),
+        "warm_findings_hit_rate": round(
+            _hit_rate(warm["findings_hits"], warm["findings_misses"]), 4
+        ),
+        "cold_summary_hits": cold["summary_hits"],
+        "warm_summary_hits": warm["summary_hits"],
+        "warm_summary_misses": warm["summary_misses"],
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"lint bench: {payload['files']} files, cold {payload['cold_s']}s, "
+        f"warm {payload['warm_s']}s, warm summary hit rate "
+        f"{payload['warm_summary_hit_rate']:.0%} -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

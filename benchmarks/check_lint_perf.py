@@ -1,0 +1,100 @@
+"""CI gate: the warm-cache lint run stays within its wall-time budget.
+
+Compares a fresh ``BENCH_lint.json`` (written by
+``benchmarks/bench_lint.py``) against the committed budget in
+``benchmarks/baselines/lint_perf_baseline.json``:
+
+- ``warm_s`` must be ≤ ``warm_budget_s`` × ``REPRO_LINT_PERF_FACTOR``
+  (default 1.5) — the whole-program layers (call graph, escape
+  fixpoint, resource walker) may cost cold time, but a warm developer
+  loop re-linting an unchanged tree must stay interactive;
+- ``warm_summary_hit_rate`` must be ≥ ``min_warm_summary_hit_rate`` —
+  a drop means cache keys churn between identical runs (e.g. an
+  unstable fingerprint input), which silently turns every warm run
+  cold long before the wall-time budget notices on a fast machine.
+
+Usage::
+
+    python benchmarks/check_lint_perf.py [CURRENT_JSON] [BASELINE_JSON]
+
+Exit codes mirror ``check_perf_smoke.py``: 0 pass, 1 regression,
+2 bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_lint.json"
+DEFAULT_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "lint_perf_baseline.json"
+)
+DEFAULT_FACTOR = 1.5
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"lint-perf: missing {path}", file=sys.stderr)
+        raise SystemExit(2) from None
+    except json.JSONDecodeError as exc:
+        print(f"lint-perf: unreadable {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    current_path = Path(argv[0]) if argv else DEFAULT_CURRENT
+    baseline_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_BASELINE
+    current = _load(current_path)
+    baseline = _load(baseline_path)
+
+    try:
+        factor = float(
+            os.environ.get("REPRO_LINT_PERF_FACTOR", DEFAULT_FACTOR)
+        )
+    except ValueError:
+        print("lint-perf: REPRO_LINT_PERF_FACTOR not a float", file=sys.stderr)
+        return 2
+    try:
+        warm_s = float(current["warm_s"])
+        hit_rate = float(current["warm_summary_hit_rate"])
+        budget_s = float(baseline["warm_budget_s"])
+        min_hit_rate = float(baseline.get("min_warm_summary_hit_rate", 0.0))
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"lint-perf: malformed payload: {exc!r}", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    ceiling = budget_s * factor
+    if warm_s > ceiling:
+        failures.append(
+            f"warm lint run took {warm_s:.3f}s, budget is "
+            f"{budget_s:.3f}s x {factor:.2f} = {ceiling:.3f}s"
+        )
+    if hit_rate < min_hit_rate:
+        failures.append(
+            f"warm summary hit rate {hit_rate:.0%} below the "
+            f"{min_hit_rate:.0%} floor (cache keys churning between "
+            "identical runs?)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"lint-perf REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"lint-perf: ok (warm {warm_s:.3f}s <= {ceiling:.3f}s, "
+        f"summary hit rate {hit_rate:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -309,9 +309,12 @@ def _add_lint(subparsers: argparse._SubParsersAction) -> None:
             "SSTD008 blocking under a lock, SSTD009 payload "
             "picklability, SSTD010 thread/process lifecycle, SSTD011 "
             "clock reads via the repro.obs Clock protocol, SSTD012 "
-            "lock-order deadlock cycles, SSTD013 kernel determinism. "
-            "Suppress a finding with a trailing '# noqa: SSTD###' "
-            "comment; stale suppressions are flagged as SSTD000."
+            "lock-order deadlock cycles, SSTD013 kernel determinism, "
+            "SSTD014 resource leaks, SSTD015 exception contracts, "
+            "SSTD016 use-after-release. Suppress a finding with a "
+            "trailing '# noqa: SSTD###' comment; stale suppressions "
+            "are flagged as SSTD000. Use --explain SSTD### for a "
+            "rule's rationale and sanction syntax."
         ),
     )
     parser.add_argument("paths", nargs="*", type=Path,
@@ -341,6 +344,12 @@ def _add_lint(subparsers: argparse._SubParsersAction) -> None:
                         help="print cache hit rates to stderr")
     parser.add_argument("--list-rules", action="store_true",
                         help="print registered rules and exit")
+    parser.add_argument("--disable", default=None, metavar="RULES",
+                        help="comma-separated rule ids to skip "
+                        "(applied after --select)")
+    parser.add_argument("--explain", default=None, metavar="RULE",
+                        help="print a rule's documentation, sanction "
+                        "syntax, and example, then exit")
     parser.set_defaults(func=_run_lint)
 
 
@@ -367,6 +376,10 @@ def _run_lint(args: argparse.Namespace) -> int:
         argv.append("--stats")
     if args.list_rules:
         argv.append("--list-rules")
+    if args.disable:
+        argv += ["--disable", args.disable]
+    if args.explain is not None:
+        argv += ["--explain", args.explain]
     return lint_main(argv)
 
 

@@ -136,6 +136,10 @@ class LintCache:
                     path=str(item["path"]),
                     line=int(item["line"]),
                     col=int(item["col"]),
+                    steps=tuple(
+                        (str(s[0]), int(s[1]), int(s[2]), str(s[3]))
+                        for s in item.get("steps", ())
+                    ),
                 )
                 for item in payload["findings"]
             ]

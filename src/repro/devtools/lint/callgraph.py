@@ -30,8 +30,16 @@ acquired.  This module closes the gap in three stages:
 
 3. **Bottom-up fixpoints.**  May-block (with the call chain to the
    blocking leaf), transitive lock acquisitions (with the acquisition
-   site and chain), and the global lock-acquisition-order edge set
-   ``(held, acquired)`` that SSTD012 runs cycle detection over.
+   site and chain), the global lock-acquisition-order edge set
+   ``(held, acquired)`` that SSTD012 runs cycle detection over, and —
+   fourth, since PR 8 — per-function *exception-escape* summaries:
+   which exception classes can propagate out of each function, seeded
+   from :func:`repro.devtools.lint.flow.analyze_exceptions` raise
+   sites and propagated caller-ward through resolved call sites minus
+   whatever each site's enclosing handlers catch (every call site is
+   stamped with its caught-class context).  SSTD015 checks these
+   against ``# raises:`` contracts; the summaries are cached exactly
+   like the may-block ones.
 
 Known false-negative limits (see DESIGN.md): dynamic dispatch through
 untyped values, callables stored in containers, monkey-patching, and
@@ -54,15 +62,18 @@ from repro.devtools.lint.flow import (
     ClassFlow,
     MethodFlow,
     analyze_class,
+    analyze_exceptions,
     analyze_function,
     blocking_reason,
+    exception_caught,
 )
-from repro.devtools.lint.names import ImportMap
+from repro.devtools.lint.names import ImportMap, dotted_name
 
 __all__ = [
     "BlockSummary",
     "CallRef",
     "ClassInfo",
+    "EscapeInfo",
     "FunctionNode",
     "LockEdge",
     "ModuleInfo",
@@ -77,8 +88,9 @@ __all__ = [
 
 #: Bump when the :class:`ModuleInfo` payload layout changes (the cache
 #: key also covers the lint package's own sources, so this is belt and
-#: braces for out-of-tree cache directories).
-SUMMARY_FORMAT = 1
+#: braces for out-of-tree cache directories).  2: per-call caught-class
+#: context, per-function raise sites and returned-call refs.
+SUMMARY_FORMAT = 2
 
 _FOLLOW_LIMIT = 16  # re-export chains are short; bound the walk anyway
 
@@ -116,6 +128,10 @@ class CallRef:
     held: tuple[str, ...]
     line: int
     col: int
+    #: Exception names the handlers enclosing this call site would
+    #: catch (``"*"`` = everything); the escape fixpoint subtracts
+    #: these from the callee's escape set before propagating.
+    caught: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,6 +149,12 @@ class FunctionNode:
     calls: tuple[CallRef, ...]
     #: (lock, held-before, line, col) per acquisition site.
     acquisitions: tuple[tuple[str, tuple[str, ...], int, int], ...]
+    #: (exception name, line, col) per direct *escaping* raise site.
+    raises: tuple[tuple[str, int, int], ...] = ()
+    #: Canonical refs of calls whose result this function may return
+    #: (``return f(...)`` or ``x = f(...) ... return x``); the resource
+    #: rules chase these to find acquire-wrappers like ``_make_executor``.
+    returned_refs: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -184,12 +206,15 @@ class ModuleInfo:
                     "entry_locks": list(f.entry_locks),
                     "block": list(f.block) if f.block else None,
                     "calls": [
-                        [c.ref, list(c.held), c.line, c.col] for c in f.calls
+                        [c.ref, list(c.held), c.line, c.col, list(c.caught)]
+                        for c in f.calls
                     ],
                     "acquisitions": [
                         [a[0], list(a[1]), a[2], a[3]]
                         for a in f.acquisitions
                     ],
+                    "raises": [list(r) for r in f.raises],
+                    "returned_refs": list(f.returned_refs),
                 }
                 for f in self.functions
             ],
@@ -230,6 +255,7 @@ class ModuleInfo:
                             held=tuple(c[1]),
                             line=int(c[2]),
                             col=int(c[3]),
+                            caught=tuple(c[4]) if len(c) > 4 else (),
                         )
                         for c in f["calls"]
                     ),
@@ -237,6 +263,11 @@ class ModuleInfo:
                         (str(a[0]), tuple(a[1]), int(a[2]), int(a[3]))
                         for a in f["acquisitions"]
                     ),
+                    raises=tuple(
+                        (str(r[0]), int(r[1]), int(r[2]))
+                        for r in f.get("raises", ())
+                    ),
+                    returned_refs=tuple(f.get("returned_refs", ())),
                 )
                 for f in payload["functions"]
             ],
@@ -402,6 +433,7 @@ def build_module_info(
             if cls_name
             else f"{ctx.module}.{method.name}"
         )
+        exc_flow = analyze_exceptions(method.node, imports)
         block: Optional[tuple[str, int, int]] = None
         calls: list[CallRef] = []
         for event in method.calls:
@@ -429,6 +461,7 @@ def build_module_info(
                         held=held,
                         line=event.node.lineno,
                         col=event.node.col_offset,
+                        caught=exc_flow.caught_at.get(id(event.node), ()),
                     )
                 )
         acquisitions = tuple(
@@ -457,6 +490,12 @@ def build_module_info(
             block=block,
             calls=tuple(calls),
             acquisitions=acquisitions,
+            raises=tuple(
+                (site.name, site.line, site.col) for site in exc_flow.raises
+            ),
+            returned_refs=_returned_refs(
+                method, cls_name, attr_classes, refs
+            ),
         )
 
     for cls in top_classes:
@@ -516,9 +555,68 @@ def build_module_info(
 
 
 def _base_text(base: ast.expr) -> Optional[str]:
-    from repro.devtools.lint.names import dotted_name
-
     return dotted_name(base)
+
+
+def _returned_refs(
+    method: MethodFlow,
+    cls_name: Optional[str],
+    attr_classes: Mapping[str, str],
+    refs: _RefBuilder,
+) -> tuple[str, ...]:
+    """Canonical refs of calls whose result the function may return.
+
+    Covers ``return f(...)`` directly and the two-step
+    ``x = f(...) ... return x`` (last assignment wins — branches are
+    not path-sensitive here; over-approximating the returned set only
+    makes *more* functions count as resource constructors, which is
+    the safe direction for leak tracking).  Nested ``def`` bodies are
+    skipped: their returns are not this function's returns.
+    """
+    assigned: dict[str, str] = {}
+    out: list[str] = []
+
+    def ref_of(call: ast.Call) -> Optional[str]:
+        return refs.ref_for(
+            dotted_name(call.func), cls_name, attr_classes, method
+        )
+
+    def scan(stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, ast.Assign):
+                ref = (
+                    ref_of(stmt.value)
+                    if isinstance(stmt.value, ast.Call)
+                    else None
+                )
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if ref is not None:
+                            assigned[target.id] = ref
+                        else:
+                            assigned.pop(target.id, None)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                value = stmt.value
+                ref = None
+                if isinstance(value, ast.Call):
+                    ref = ref_of(value)
+                elif isinstance(value, ast.Name):
+                    ref = assigned.get(value.id)
+                if ref is not None and ref not in out:
+                    out.append(ref)
+            for name in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, name, None)
+                if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                    scan(sub)
+            for handler in getattr(stmt, "handlers", ()) or ():
+                scan(handler.body)
+
+    scan(method.node.body)
+    return tuple(out)
 
 
 # ---------------------------------------------------------------------------
@@ -540,6 +638,29 @@ class BlockSummary:
         if len(self.chain) <= 1:
             return self.reason
         return f"{self.reason} via {' -> '.join(self.chain)}"
+
+
+@dataclass(frozen=True, slots=True)
+class EscapeInfo:
+    """One exception class that can propagate out of a function.
+
+    ``chain`` walks caller-ward from the function whose summary holds
+    this entry down to the function containing the raise; ``path``/
+    ``line``/``col`` locate the raise statement itself.
+    """
+
+    name: str
+    chain: tuple[str, ...]
+    path: str
+    line: int
+    col: int
+
+    def describe(self) -> str:
+        short = self.name.rsplit(".", 1)[-1]
+        if len(self.chain) <= 1:
+            return f"{short} raised at {self.path}:{self.line}"
+        via = " -> ".join(q.rsplit(".", 1)[-1] for q in self.chain)
+        return f"{short} raised at {self.path}:{self.line} via {via}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -615,6 +736,17 @@ class ProjectAnalysis:
         self._acquire_fixpoint()
         self.lock_edges: dict[tuple[str, str], LockEdge] = {}
         self._build_lock_edges()
+        #: qualname -> exception name -> EscapeInfo (fourth fixpoint).
+        self.escapes: dict[str, dict[str, EscapeInfo]] = {}
+        self._escape_fixpoint()
+        #: qualname -> ((canonical ref, resolved targets), ...) for
+        #: calls whose result the function may return.  Resolved here —
+        #: not lazily at rule time — so the modules consulted land in
+        #: ``deps`` before findings-cache digests are taken.
+        self.returned: dict[
+            str, tuple[tuple[str, tuple[str, ...]], ...]
+        ] = {}
+        self._resolve_returned()
         #: (A, B, path, line) per ``# lock-order: A < B`` declaration.
         self.lock_decls: list[tuple[str, str, str, int]] = sorted(
             (a, b, info.path, line)
@@ -861,6 +993,61 @@ class ProjectAnalysis:
                                     (qual,) + chain,
                                 )
                                 changed = True
+
+    def _escape_fixpoint(self) -> None:
+        """Fourth bottom-up pass: which exceptions escape each function.
+
+        Seeded from each function's direct escaping raise sites;
+        propagated caller-ward through resolved calls, minus whatever
+        the call site's enclosing handlers catch.  Unresolved callees
+        (stdlib, dynamic receivers) contribute nothing — a documented
+        false-negative limit, same as the may-block fixpoint.
+        """
+        for qual in sorted(self.functions):
+            module, fn = self.functions[qual]
+            path = self.modules[module].path
+            mine: dict[str, EscapeInfo] = {}
+            for name, line, col in fn.raises:
+                mine.setdefault(
+                    name, EscapeInfo(name, (qual,), path, line, col)
+                )
+            self.escapes[qual] = mine
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(self.functions):
+                mine = self.escapes[qual]
+                for call, targets in self._resolved.get(qual, ()):
+                    frame = frozenset(call.caught)
+                    for target in targets:
+                        if target == qual:
+                            continue
+                        for name, info in self.escapes.get(
+                            target, {}
+                        ).items():
+                            if name in mine:
+                                continue
+                            if frame and exception_caught(name, frame):
+                                continue
+                            mine[name] = EscapeInfo(
+                                name=name,
+                                chain=(qual,) + info.chain,
+                                path=info.path,
+                                line=info.line,
+                                col=info.col,
+                            )
+                            changed = True
+
+    def _resolve_returned(self) -> None:
+        for module in sorted(self.modules):
+            deps = self.deps[module]
+            for fn in self.modules[module].functions:
+                if not fn.returned_refs:
+                    continue
+                self.returned[fn.qualname] = tuple(
+                    (ref, self.resolve_ref(ref, deps))
+                    for ref in fn.returned_refs
+                )
 
     def _build_lock_edges(self) -> None:
         def add(frm: str, to: str, edge: LockEdge) -> None:

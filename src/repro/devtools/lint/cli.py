@@ -10,6 +10,8 @@ Usage::
     python -m repro.devtools.lint --changed-only origin/main src/repro
     python -m repro.devtools.lint --no-cache --json-report lint.json src
     python -m repro.devtools.lint --noqa-budget 53 src/repro
+    python -m repro.devtools.lint --disable SSTD006,SSTD011 benchmarks
+    python -m repro.devtools.lint --explain SSTD014
     python -m repro.devtools.lint --list-rules
 
 Exits non-zero when any finding survives suppression, so the command
@@ -55,7 +57,13 @@ from repro.devtools.lint.reporters import (
     render_text,
 )
 
-__all__ = ["build_parser", "changed_paths_from_git", "main", "run_lint"]
+__all__ = [
+    "build_parser",
+    "changed_paths_from_git",
+    "explain_rule",
+    "main",
+    "run_lint",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,7 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
             "under-lock, lock-order deadlock cycles, payload "
             "picklability, kernel determinism, thread lifecycle, seeded "
             "randomness, probability-safe numerics, exception and export "
-            "hygiene. Exits 1 when findings remain, 2 on usage errors."
+            "hygiene, resource lifecycle (leak / use-after-release), and "
+            "exception contracts. Exits 1 when findings remain, 2 on "
+            "usage errors."
         ),
     )
     parser.add_argument(
@@ -90,6 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RULES",
         help="comma-separated rule ids to run (default: all), e.g. "
         "SSTD003,SSTD004",
+    )
+    parser.add_argument(
+        "--disable",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip (applied after "
+        "--select); e.g. --disable SSTD006,SSTD011 for the relaxed "
+        "benchmarks/examples profile",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print what a rule checks, its sanction syntax, and a "
+        "minimal example, then exit (e.g. --explain SSTD014)",
     )
     parser.add_argument(
         "--changed-only",
@@ -185,11 +210,66 @@ _RENDERERS = {
     "sarif": render_sarif,
 }
 
+_SSTD000_EXPLAIN = """\
+SSTD000 — engine-level diagnostics
+
+Reserved for the engine itself, not a registered rule: syntax errors
+in linted files and stale suppressions (a '# noqa' that no longer
+silences any finding).  There is no sanction — fix the syntax error,
+or delete the stale suppression.
+"""
+
+
+def explain_rule(rule_id: str) -> tuple[str, int]:
+    """Human documentation for one rule: ``(text, exit code)``.
+
+    Pulls the summary from the rule object, the long-form rationale
+    from the rule module's docstring, and the sanction/example the rule
+    class declares.  SSTD000 (engine diagnostics) is special-cased.
+    """
+    rule_id = rule_id.strip().upper()
+    if rule_id == "SSTD000":
+        return _SSTD000_EXPLAIN, 0
+    for rule in all_rules():
+        if rule.rule_id != rule_id:
+            continue
+        sections = [f"{rule.rule_id} — {rule.summary}"]
+        doc = sys.modules[type(rule).__module__].__doc__
+        if doc:
+            sections.append(doc.strip())
+        if rule.sanction:
+            sections.append(f"Sanction:\n  {rule.sanction}")
+        if rule.example:
+            example = "\n".join(
+                f"  {line}" for line in rule.example.rstrip().splitlines()
+            )
+            sections.append(f"Example:\n{example}")
+        return "\n\n".join(sections) + "\n", 0
+    known = ", ".join(r.rule_id for r in all_rules())
+    return (
+        f"unknown rule id: {rule_id} (known: SSTD000, {known})\n",
+        2,
+    )
+
+
+def _drop_disabled(rules: list, disable: str | None) -> list:
+    if not disable:
+        return rules
+    disabled = {d.strip().upper() for d in disable.split(",") if d.strip()}
+    known = {rule.rule_id for rule in all_rules()}
+    unknown = sorted(disabled - known)
+    if unknown:
+        raise KeyError(
+            f"--disable: unknown rule id(s): {', '.join(unknown)}"
+        )
+    return [rule for rule in rules if rule.rule_id not in disabled]
+
 
 def run_lint(
     paths: Sequence[Path],
     output_format: str = "text",
     select: str | None = None,
+    disable: str | None = None,
     use_cache: bool = False,
     cache_dir: Path = DEFAULT_CACHE_DIR,
     audit_noqa: bool | None = None,
@@ -206,7 +286,7 @@ def run_lint(
     therefore never reports SSTD000 stale suppressions.
     """
     selected = select.split(",") if select else None
-    rules = all_rules(selected)
+    rules = _drop_disabled(all_rules(selected), disable)
     cache = LintCache(cache_dir) if use_cache else None
     if stats is None:
         stats = {}
@@ -275,6 +355,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.summary}")
         return 0
+    if args.explain is not None:
+        text, code = explain_rule(args.explain)
+        print(text, end="", file=sys.stderr if code else sys.stdout)
+        return code
     paths = args.paths or _default_paths()
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
@@ -293,6 +377,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             paths,
             output_format=args.format,
             select=args.select,
+            disable=args.disable,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
             audit_noqa=False if args.no_stale_noqa else None,

@@ -78,18 +78,25 @@ class Finding:
     path: str
     line: int
     col: int
+    #: Optional path trace: ``(path, line, col, note)`` per step, e.g.
+    #: acquire site → leak site for SSTD014.  Rendered as SARIF
+    #: codeFlows and round-tripped through the findings cache.
+    steps: tuple[tuple[str, int, int, str], ...] = ()
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "rule": self.rule_id,
             "message": self.message,
             "path": self.path,
             "line": self.line,
             "col": self.col,
         }
+        if self.steps:
+            out["steps"] = [list(step) for step in self.steps]
+        return out
 
 
 @dataclass(slots=True)
@@ -181,6 +188,11 @@ class Rule:
     needs_project: bool = False
     #: Global rule: :meth:`check_project` runs once per invocation.
     project_rule: bool = False
+    #: Sanction syntax (annotation comment) that silences the rule
+    #: without ``noqa``; shown by ``--explain``.  Empty = noqa only.
+    sanction: str = ""
+    #: Minimal flagged example, shown by ``--explain``.
+    example: str = ""
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -189,13 +201,20 @@ class Rule:
         """Findings computed from the whole-program analysis."""
         return iter(())
 
-    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        steps: tuple[tuple[str, int, int, str], ...] = (),
+    ) -> Finding:
         return Finding(
             rule_id=self.rule_id,
             message=message,
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            steps=steps,
         )
 
 

@@ -45,6 +45,16 @@ their definition site, ``except`` handlers are walked with the ``try``
 entry lockset (the dominant ``with``-based idiom unwinds to exactly
 that), and ``finally`` bodies run on the intersection of the normal and
 exceptional locksets.
+
+Since PR 8 this module also owns the **exception edges** of the CFG
+(:func:`analyze_exceptions`): every ``raise`` — explicit, re-raise, or
+raise-in-``finally`` — is resolved against the stack of enclosing
+handlers (``except`` clauses and ``contextlib.suppress`` items), and
+every call site is stamped with the exception names the enclosing
+handlers would catch.  The call-graph layer folds these into
+per-function exception-*escape* summaries, and the resource-lifecycle
+rules (SSTD014-016) consume the same handler/``finally`` structure to
+prove release-on-every-path.
 """
 
 from __future__ import annotations
@@ -66,14 +76,22 @@ __all__ = [
     "ClassAttrModel",
     "ClassFlow",
     "EscapeEvent",
+    "ExceptionFlow",
+    "EXC_BASES",
     "GUARDED_RE",
     "HOLDS_RE",
+    "DELIBERATE_RE",
     "LOCK_ORDER_RE",
     "MethodFlow",
+    "OWNS_RESOURCE_RE",
+    "RAISES_RE",
+    "RaiseSite",
     "analyze_class",
+    "analyze_exceptions",
     "analyze_function",
     "annotation_class",
     "blocking_reason",
+    "exception_caught",
     "iter_class_flows",
     "nonblocking_call",
     "self_attr",
@@ -86,6 +104,15 @@ HOLDS_RE = re.compile(r"#\s*holds-lock:\s*(\w+)")
 LOCK_ORDER_RE = re.compile(
     r"#\s*lock-order:\s*([\w.]+)\s*<\s*([\w.]+)"
 )
+#: ``# raises: ValueError, TimeoutError`` — declared exception contract
+#: on a ``def`` line (SSTD015 checks the computed escape set against it).
+RAISES_RE = re.compile(r"#\s*raises:\s*([\w.]+(?:\s*,\s*[\w.]+)*)")
+#: ``# owns-resource:`` — sanctions storing an acquired resource on an
+#: attribute, transferring lifecycle ownership to the object (SSTD014).
+OWNS_RESOURCE_RE = re.compile(r"#\s*owns-resource:")
+#: ``# deliberate: <reason>`` — sanctions swallowing a broad exception
+#: in a runtime package (SSTD015); the reason is mandatory prose.
+DELIBERATE_RE = re.compile(r"#\s*deliberate:\s*\S")
 
 _LOCK_CTORS = frozenset({"Lock", "RLock"})
 _QUEUE_CTORS = frozenset(
@@ -1008,3 +1035,273 @@ def blocking_reason(
             return f"spawns a {info.kind} via {receiver}.start()"
         return None
     return None
+
+
+# ---------------------------------------------------------------------------
+# Exception-aware CFG edges (shared by SSTD014-016 and the call graph)
+# ---------------------------------------------------------------------------
+
+#: Transitive *builtin* exception bases, so ``except OSError`` is known
+#: to stop a ``FileNotFoundError`` without importing anything.  Project
+#: exception hierarchies are not modeled (documented false negative);
+#: in this repo every raised class is a builtin.
+EXC_BASES: dict[str, frozenset[str]] = {
+    name: frozenset(bases)
+    for name, bases in {
+        "ArithmeticError": ("Exception",),
+        "AssertionError": ("Exception",),
+        "AttributeError": ("Exception",),
+        "BlockingIOError": ("OSError", "Exception"),
+        "BrokenPipeError": ("ConnectionError", "OSError", "Exception"),
+        "BufferError": ("Exception",),
+        "ChildProcessError": ("OSError", "Exception"),
+        "ConnectionAbortedError": ("ConnectionError", "OSError", "Exception"),
+        "ConnectionError": ("OSError", "Exception"),
+        "ConnectionRefusedError": ("ConnectionError", "OSError", "Exception"),
+        "ConnectionResetError": ("ConnectionError", "OSError", "Exception"),
+        "EOFError": ("Exception",),
+        "FileExistsError": ("OSError", "Exception"),
+        "FileNotFoundError": ("OSError", "Exception"),
+        "FloatingPointError": ("ArithmeticError", "Exception"),
+        "GeneratorExit": ("BaseException",),
+        "ImportError": ("Exception",),
+        "IndexError": ("LookupError", "Exception"),
+        "InterruptedError": ("OSError", "Exception"),
+        "IsADirectoryError": ("OSError", "Exception"),
+        "KeyError": ("LookupError", "Exception"),
+        "KeyboardInterrupt": ("BaseException",),
+        "LookupError": ("Exception",),
+        "MemoryError": ("Exception",),
+        "ModuleNotFoundError": ("ImportError", "Exception"),
+        "NotADirectoryError": ("OSError", "Exception"),
+        "NotImplementedError": ("RuntimeError", "Exception"),
+        "OSError": ("Exception",),
+        "OverflowError": ("ArithmeticError", "Exception"),
+        "PermissionError": ("OSError", "Exception"),
+        "ProcessLookupError": ("OSError", "Exception"),
+        "RecursionError": ("RuntimeError", "Exception"),
+        "RuntimeError": ("Exception",),
+        "StopAsyncIteration": ("Exception",),
+        "StopIteration": ("Exception",),
+        "SystemExit": ("BaseException",),
+        "TimeoutError": ("OSError", "Exception"),
+        "TypeError": ("Exception",),
+        "UnicodeDecodeError": ("UnicodeError", "ValueError", "Exception"),
+        "UnicodeEncodeError": ("UnicodeError", "ValueError", "Exception"),
+        "UnicodeError": ("ValueError", "Exception"),
+        "ValueError": ("Exception",),
+        "ZeroDivisionError": ("ArithmeticError", "Exception"),
+    }.items()
+}
+
+#: ``except Exception`` does not stop these (they subclass BaseException).
+_NOT_EXCEPTION = frozenset({"SystemExit", "KeyboardInterrupt", "GeneratorExit"})
+
+
+def exception_caught(name: str, frame: frozenset[str]) -> bool:
+    """Would a handler catching the classes in ``frame`` stop ``name``?
+
+    ``name`` may be dotted (matched by last segment) or ``"*"`` — an
+    exception of statically unknown class, which only ``except
+    Exception``/``BaseException``/bare ``except`` are assumed to stop.
+    Unknown (non-builtin) raised classes are treated as ``Exception``
+    subclasses, the overwhelmingly common case; the rare
+    ``BaseException`` subclass slipping through a broad handler is an
+    accepted false negative.
+    """
+    if "*" in frame or "BaseException" in frame:
+        return True
+    short = name.rsplit(".", 1)[-1]
+    if short == "*":
+        return "Exception" in frame
+    if short in frame or name in frame:
+        return True
+    bases = EXC_BASES.get(short)
+    if bases is not None and any(base in frame for base in bases):
+        return True
+    return "Exception" in frame and short not in _NOT_EXCEPTION
+
+
+@dataclass(frozen=True, slots=True)
+class RaiseSite:
+    """One exception that escapes the analyzed function.
+
+    Attributes:
+        name: Exception class name (last-segment comparable), or ``"*"``
+            for a re-raise of an unknown caught class.
+        line: 1-based line of the ``raise``.
+        col: 0-based column.
+    """
+
+    name: str
+    line: int
+    col: int
+
+
+@dataclass(slots=True)
+class ExceptionFlow:
+    """Exception edges of one function body.
+
+    Attributes:
+        raises: Direct ``raise`` sites whose exception escapes the
+            function (not stopped by any enclosing handler/suppress).
+        caught_at: ``id(call_node)`` → union of exception names the
+            handlers enclosing that call would catch (``"*"`` = all).
+            Calls inside nested ``def``/``lambda`` bodies are stamped
+            ``("*",)``: they do not run at definition time, so nothing
+            they raise propagates out of *this* function.
+    """
+
+    raises: list[RaiseSite] = field(default_factory=list)
+    caught_at: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+
+def _handler_names(handler: ast.ExceptHandler) -> tuple[str, ...]:
+    """Exception names one ``except`` clause catches (``"*"`` for bare)."""
+    if handler.type is None:
+        return ("*",)
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: list[str] = []
+    for node in types:
+        name = dotted_name(node)
+        names.append(name if name else "*")
+    return tuple(names)
+
+
+def _suppressed_names(item: ast.withitem, imports) -> tuple[str, ...]:
+    """Names suppressed by a ``contextlib.suppress(...)`` with-item."""
+    call = item.context_expr
+    if not isinstance(call, ast.Call):
+        return ()
+    callee = dotted_name(call.func) or ""
+    root, _, rest = callee.partition(".")
+    if imports is not None:
+        resolved = f"{imports.aliases.get(root, root)}{'.' + rest if rest else ''}"
+    else:
+        resolved = callee
+    if resolved not in ("contextlib.suppress", "suppress"):
+        return ()
+    names = [dotted_name(arg) or "*" for arg in call.args]
+    return tuple(names) if names else ("*",)
+
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _mark_calls(node: ast.AST, ctx: tuple[str, ...], out: dict[int, tuple[str, ...]]) -> None:
+    """Stamp every call under ``node`` with ``ctx``; nested-def calls get ``("*",)``."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, _DEF_NODES) and current is not node:
+            for inner in ast.walk(current):
+                if isinstance(inner, ast.Call):
+                    out[id(inner)] = ("*",)
+            continue
+        if isinstance(current, ast.Call):
+            out[id(current)] = ctx
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def analyze_exceptions(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, imports=None
+) -> ExceptionFlow:
+    """Exception edges of one function: escaping raises + per-call catchers.
+
+    The walker keeps a stack of handler *frames* — the union of classes
+    each enclosing ``try`` (over its *body* only: ``else``, handler and
+    ``finally`` bodies unwind past it) or ``contextlib.suppress`` block
+    would stop.  A ``raise`` whose class no frame catches escapes; a
+    bare ``raise`` re-raises its handler's caught classes against the
+    frames *outside* that handler; a raise in ``finally`` propagates
+    under the outer frames.  ``imports`` is an optional
+    :class:`~repro.devtools.lint.names.ImportMap` used only to
+    recognize aliased ``contextlib.suppress``.
+    """
+    flow = ExceptionFlow()
+
+    def escape(name: str, node: ast.stmt, frames: tuple[frozenset[str], ...]) -> None:
+        if not any(exception_caught(name, frame) for frame in frames):
+            flow.raises.append(RaiseSite(name, node.lineno, node.col_offset))
+
+    def ctx_of(frames: tuple[frozenset[str], ...]) -> tuple[str, ...]:
+        merged: set[str] = set()
+        for frame in frames:
+            merged |= frame
+        return tuple(sorted(merged))
+
+    def walk(
+        stmts: list[ast.stmt],
+        frames: tuple[frozenset[str], ...],
+        handler_ctx: tuple[str, ...] | None,
+    ) -> None:
+        ctx = ctx_of(frames)
+        for stmt in stmts:
+            if isinstance(stmt, ast.Raise):
+                _mark_calls(stmt, ctx, flow.caught_at)
+                if stmt.exc is None:
+                    # Bare re-raise: the active exception is whatever the
+                    # enclosing handler caught (unknown at module top level).
+                    for name in handler_ctx or ("*",):
+                        escape(name, stmt, frames)
+                else:
+                    target = (
+                        stmt.exc.func
+                        if isinstance(stmt.exc, ast.Call)
+                        else stmt.exc
+                    )
+                    escape(dotted_name(target) or "*", stmt, frames)
+            elif isinstance(stmt, ast.Try) or (
+                hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+            ):
+                caught: set[str] = set()
+                for handler in stmt.handlers:
+                    caught.update(_handler_names(handler))
+                body_frames = frames + (frozenset(caught),) if caught else frames
+                walk(stmt.body, body_frames, handler_ctx)
+                for handler in stmt.handlers:
+                    walk(handler.body, frames, _handler_names(handler))
+                # ``else`` and ``finally`` are NOT protected by this
+                # try's handlers; a raise there unwinds to the outer
+                # frames (raise-in-finally replaces any in-flight
+                # exception, modeled as its own escaping raise).
+                walk(stmt.orelse, frames, handler_ctx)
+                walk(stmt.finalbody, frames, handler_ctx)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                suppressed: set[str] = set()
+                for item in stmt.items:
+                    _mark_calls(item.context_expr, ctx, flow.caught_at)
+                    suppressed.update(_suppressed_names(item, imports))
+                body_frames = (
+                    frames + (frozenset(suppressed),) if suppressed else frames
+                )
+                walk(stmt.body, body_frames, handler_ctx)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                _mark_calls(stmt.iter, ctx, flow.caught_at)
+                walk(stmt.body, frames, handler_ctx)
+                walk(stmt.orelse, frames, handler_ctx)
+            elif isinstance(stmt, ast.While):
+                _mark_calls(stmt.test, ctx, flow.caught_at)
+                walk(stmt.body, frames, handler_ctx)
+                walk(stmt.orelse, frames, handler_ctx)
+            elif isinstance(stmt, ast.If):
+                _mark_calls(stmt.test, ctx, flow.caught_at)
+                walk(stmt.body, frames, handler_ctx)
+                walk(stmt.orelse, frames, handler_ctx)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                # Nested definitions run later (or never); their raises
+                # are the *caller's* problem when the closure is invoked.
+                for inner in ast.walk(stmt):
+                    if isinstance(inner, ast.Call):
+                        flow.caught_at[id(inner)] = ("*",)
+            else:
+                # Assert is deliberately not an AssertionError escape:
+                # asserts vanish under -O and annotating every public
+                # API with AssertionError would drown the contract.
+                _mark_calls(stmt, ctx, flow.caught_at)
+    walk(func.body, (), None)
+    return flow

@@ -99,29 +99,54 @@ def render_sarif(
     rule_index = {
         rule_id: index for index, rule_id in enumerate(sorted(descriptors))
     }
-    results = [
-        {
+
+    def _location(path: str, line: int, col: int) -> dict:
+        return {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": path.replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": line,
+                    "startColumn": col + 1,
+                },
+            }
+        }
+
+    results = []
+    for finding in findings:
+        result = {
             "ruleId": finding.rule_id,
             "ruleIndex": rule_index[finding.rule_id],
             "level": "error",
             "message": {"text": finding.message},
             "locations": [
-                {
-                    "physicalLocation": {
-                        "artifactLocation": {
-                            "uri": finding.path.replace("\\", "/"),
-                            "uriBaseId": "%SRCROOT%",
-                        },
-                        "region": {
-                            "startLine": finding.line,
-                            "startColumn": finding.col + 1,
-                        },
-                    }
-                }
+                _location(finding.path, finding.line, finding.col)
             ],
         }
-        for finding in findings
-    ]
+        if finding.steps:
+            # Path-style findings (SSTD014 leak paths) carry the full
+            # acquire→leak trace; code scanning renders these as a
+            # step-through under the result.
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": {
+                                        **_location(spath, sline, scol),
+                                        "message": {"text": note},
+                                    }
+                                }
+                                for (spath, sline, scol, note) in finding.steps
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
     payload = {
         "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
         "version": "2.1.0",

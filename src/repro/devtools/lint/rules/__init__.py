@@ -21,7 +21,17 @@ Importing this package registers every rule with the engine registry:
 - ``SSTD013`` — kernel modules (``repro.hmm.batch``,
   ``repro.hmm.utils``, ``repro.system.jobs``) never let set/dict-view
   iteration order reach numeric accumulations or task ordering
-  (``# order-independent`` sanctions commutative exact reductions).
+  (``# order-independent`` sanctions commutative exact reductions);
+- ``SSTD014`` — acquired resources (shared-memory segments, work
+  queues, executors, files) are released on every path, normal and
+  exceptional; ``with``/``finally``-covered releases and ownership
+  hand-offs are clean, ``# owns-resource:`` sanctions attribute stores;
+- ``SSTD015`` — ``# raises:`` exception contracts cover the computed
+  escape set, and broad handlers in runtime packages never swallow
+  silently without a ``# deliberate: <reason>``;
+- ``SSTD016`` — no use-after-release (``submit`` after ``shutdown``,
+  ``.array`` after close) and no double-release of callees not
+  documented idempotent.
 
 (``SSTD000`` is reserved for engine-level diagnostics — syntax errors
 and stale ``noqa`` suppressions — and is emitted by the engine itself,
@@ -41,6 +51,9 @@ from repro.devtools.lint.rules.concurrency import (
 )
 from repro.devtools.lint.rules.defaults import MutableDefaultRule
 from repro.devtools.lint.rules.determinism import UnseededRandomRule
+from repro.devtools.lint.rules.exception_contracts import (
+    ExceptionContractRule,
+)
 from repro.devtools.lint.rules.exceptions import BroadExceptRule
 from repro.devtools.lint.rules.exports import MissingAllRule
 from repro.devtools.lint.rules.kernel_determinism import (
@@ -51,12 +64,17 @@ from repro.devtools.lint.rules.lockorder import LockOrderRule
 from repro.devtools.lint.rules.locks import LockDisciplineRule
 from repro.devtools.lint.rules.numerics import RawLogExpRule
 from repro.devtools.lint.rules.picklability import PicklabilityRule
+from repro.devtools.lint.rules.resources import (
+    ResourceLeakRule,
+    UseAfterReleaseRule,
+)
 from repro.devtools.lint.rules.timing import DirectClockReadRule
 
 __all__ = [
     "BlockingUnderLockRule",
     "BroadExceptRule",
     "DirectClockReadRule",
+    "ExceptionContractRule",
     "GuardedEscapeRule",
     "KernelDeterminismRule",
     "LockDisciplineRule",
@@ -65,6 +83,8 @@ __all__ = [
     "MutableDefaultRule",
     "PicklabilityRule",
     "RawLogExpRule",
+    "ResourceLeakRule",
     "ThreadLifecycleRule",
     "UnseededRandomRule",
+    "UseAfterReleaseRule",
 ]

@@ -1,0 +1,176 @@
+"""SSTD015: exception contracts on runtime APIs.
+
+Callers of the Work Queue runtime program against documented failure
+modes — ``submit`` raises ``ValueError`` on a bad priority and
+``RuntimeError`` after shutdown, ``drain`` raises ``TimeoutError`` on
+deadline.  The contract lives in a ``# raises:`` annotation on the
+``def`` line (or the line below it):
+
+    def drain(self, timeout=None):  # raises: TimeoutError
+
+The rule checks the annotation against the *computed* escape set from
+the call graph's exception-escape fixpoint
+(:attr:`repro.devtools.lint.callgraph.ProjectAnalysis.escapes`): every
+exception class that can propagate out of an annotated function must be
+declared, and the finding names the raise site and call chain that
+leaks it.  Declaring more than escapes is fine — the computed set is an
+under-approximation (unresolved calls contribute nothing), so unused
+declarations are documentation, not errors.
+
+The rule also flags **swallowed exceptions** in the gated runtime
+packages (``repro.workqueue``, ``repro.system``, ``repro.cluster``): a
+``except Exception:`` / bare ``except:`` handler that neither re-raises
+nor carries a ``# deliberate:`` justification hides faults the paper's
+recovery path (§IV-C) is supposed to observe.  SSTD001 already rejects
+*anonymous* broad handlers everywhere; this check additionally covers
+named ones (``except Exception as exc:``) in the runtime, where
+"log and continue" must be an explicit decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+from repro.devtools.lint.flow import DELIBERATE_RE, RAISES_RE
+
+__all__ = ["ExceptionContractRule"]
+
+#: Packages where silently swallowing exceptions needs a sanction.
+_GATED_PACKAGES = ("repro.workqueue", "repro.system", "repro.cluster")
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _in_gated_package(module: str) -> bool:
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in _GATED_PACKAGES
+    )
+
+
+def _declared_raises(ctx: FileContext, node: ast.AST) -> "set[str] | None":
+    """Classes a ``# raises:`` annotation declares, or None if absent.
+
+    Scans the ``def`` line(s) down to the first body statement, so the
+    annotation can sit after the signature or on its own line under a
+    multi-line signature.
+    """
+    body = getattr(node, "body", None)
+    last = body[0].lineno if body else node.lineno + 1
+    declared: set[str] = set()
+    found = False
+    for lineno in range(node.lineno, last + 1):
+        match = RAISES_RE.search(ctx.line_text(lineno))
+        if match:
+            found = True
+            declared.update(
+                name.strip() for name in match.group(1).split(",")
+            )
+    return declared if found else None
+
+
+def _covers(declared: set[str], name: str) -> bool:
+    short = name.rsplit(".", 1)[-1]
+    return name in declared or short in declared
+
+
+def _contains_raise(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                break
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+def _sanctioned(ctx: FileContext, handler: ast.ExceptHandler) -> bool:
+    lines = [handler.lineno]
+    if handler.body:
+        lines.append(handler.body[0].lineno)
+    return any(
+        DELIBERATE_RE.search(ctx.line_text(lineno)) for lineno in lines
+    )
+
+
+@register
+class ExceptionContractRule(Rule):
+    rule_id = "SSTD015"
+    summary = "exception contracts hold: declared raises cover escapes"
+    needs_project = True
+    sanction = (
+        "# raises: A, B on the def line declares the contract; "
+        "# deliberate: <reason> on a broad handler sanctions swallowing "
+        "in the runtime packages"
+    )
+    example = (
+        "def drain(self, timeout=None):  # raises: TimeoutError\n"
+        "    ...\n"
+        "    raise ValueError(msg)   # SSTD015: ValueError escapes\n"
+        "                            # but is not declared\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_contracts(ctx)
+        yield from self._check_swallows(ctx)
+
+    def _check_contracts(self, ctx: FileContext) -> Iterator[Finding]:
+        project = ctx.project
+        if project is None or not project.has_module(ctx.module):
+            return
+        escapes = getattr(project, "escapes", {})
+        for node, qual in _qualified_functions(ctx):
+            declared = _declared_raises(ctx, node)
+            if declared is None:
+                continue
+            for name, info in sorted(escapes.get(qual, {}).items()):
+                if name == "*" or _covers(declared, name):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{qual.rsplit('.', 1)[-1]}' declares "
+                    f"'# raises: {', '.join(sorted(declared))}' but "
+                    f"{info.describe()} can escape; add it to the "
+                    "annotation or catch it",
+                )
+
+    def _check_swallows(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_gated_package(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or (
+                isinstance(node.type, ast.Name) and node.type.id in _BROAD
+            )
+            if not broad or _contains_raise(node) or _sanctioned(ctx, node):
+                continue
+            what = (
+                "bare except:"
+                if node.type is None
+                else f"except {node.type.id}:"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"{what} in a runtime package swallows exceptions the "
+                "recovery path should observe; re-raise, narrow the "
+                "class, or sanction with '# deliberate: <reason>'",
+            )
+
+
+def _qualified_functions(
+    ctx: FileContext,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, f"{ctx.module}.{node.name}"
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield sub, f"{ctx.module}.{node.name}.{sub.name}"

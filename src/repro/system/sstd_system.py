@@ -470,12 +470,12 @@ class DistributedSSTD:
         )
         zero_copy = self._use_zero_copy()
         n_workers = min(config.n_workers, max(1, len(shards)))
-        executor = self._make_executor(n_workers)
-        clock_start = self.obs.clock.now()
         stack = None
         owner = None
         shard_claims: dict[str, list[str]] = {}
+        executor = self._make_executor(n_workers)
         try:
+            clock_start = self.obs.clock.now()
             with using(self.obs):
                 if zero_copy:
                     stack = build_claim_stack(

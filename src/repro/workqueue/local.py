@@ -99,13 +99,13 @@ class LocalWorkQueue:
         for thread in self._threads:
             thread.start()
 
-    def set_priority(self, job_id: str, priority: float) -> None:
+    def set_priority(self, job_id: str, priority: float) -> None:  # raises: ValueError
         if priority <= 0:
             raise ValueError("priority must be > 0")
         with self._lock:
             self.priorities[job_id] = priority
 
-    def submit(self, task: Task) -> None:
+    def submit(self, task: Task) -> None:  # raises: ValueError, RuntimeError
         if task.fn is None:
             raise ValueError("local tasks need a callable payload (task.fn)")
         with self._wakeup:
@@ -173,7 +173,7 @@ class LocalWorkQueue:
                 )
             )
 
-    def drain(self, timeout: float = 60.0) -> list[LocalResult]:
+    def drain(self, timeout: float = 60.0) -> list[LocalResult]:  # raises: TimeoutError
         """Block until every submitted task has finished; return results."""
         deadline = self.obs.clock.now() + timeout
         collected: list[LocalResult] = []

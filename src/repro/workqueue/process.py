@@ -89,7 +89,7 @@ def _worker_main(
             error = TaskError.from_exception(exc)
         try:
             output_bytes = pickle.dumps(output)
-        except Exception as exc:  # unpicklable output is a task error
+        except Exception as exc:  # deliberate: unpicklable output is a task error
             error = TaskError.from_exception(exc)
             output_bytes = pickle.dumps(None)
         metrics: Optional[MetricsSnapshot] = None
@@ -199,13 +199,13 @@ class ProcessWorkQueue:
     # ------------------------------------------------------------------
     # Public API (mirrors LocalWorkQueue)
     # ------------------------------------------------------------------
-    def set_priority(self, job_id: str, priority: float) -> None:
+    def set_priority(self, job_id: str, priority: float) -> None:  # raises: ValueError
         if priority <= 0:
             raise ValueError("priority must be > 0")
         with self._lock:
             self.priorities[job_id] = priority
 
-    def submit(self, task: Task) -> None:
+    def submit(self, task: Task) -> None:  # raises: ValueError, RuntimeError
         if task.fn is None:
             raise ValueError("process tasks need a callable payload (task.fn)")
         qualname = getattr(task.fn, "__qualname__", "")
@@ -221,7 +221,7 @@ class ProcessWorkQueue:
             self._pending.append(task)
             self._outstanding += 1
 
-    def drain(self, timeout: float = 60.0) -> list[LocalResult]:
+    def drain(self, timeout: float = 60.0) -> list[LocalResult]:  # raises: TimeoutError
         """Block until every submitted task has finished; return results."""
         deadline = self.obs.clock.now() + timeout
         collected: list[LocalResult] = []
@@ -318,7 +318,7 @@ class ProcessWorkQueue:
             return False
         try:
             payload_bytes = pickle.dumps(task.fn)
-        except Exception as exc:  # unpicklable payload fails the task
+        except Exception as exc:  # deliberate: unpicklable payload fails the task
             self._results.put(
                 LocalResult(
                     task_id=task.task_id,

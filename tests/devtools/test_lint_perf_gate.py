@@ -1,0 +1,113 @@
+"""Unit tests for the lint perf gate (benchmarks/check_lint_perf.py).
+
+The gate keeps the warm-cache lint loop interactive as the analysis
+grows whole-program layers; its budget arithmetic and the summary
+hit-rate floor get pinned here with synthetic documents.
+"""
+
+import json
+
+from benchmarks.check_lint_perf import main
+
+
+def _current(**overrides):
+    doc = {
+        "schema": 1,
+        "files": 108,
+        "findings": 0,
+        "cold_s": 2.5,
+        "warm_s": 0.05,
+        "warm_summary_hit_rate": 1.0,
+        "warm_findings_hit_rate": 1.0,
+    }
+    doc.update(overrides)
+    return doc
+
+
+def _baseline(**overrides):
+    doc = {
+        "schema": 1,
+        "warm_budget_s": 1.0,
+        "min_warm_summary_hit_rate": 0.9,
+    }
+    doc.update(overrides)
+    return doc
+
+
+def _run(tmp_path, current, baseline, monkeypatch=None, factor=None):
+    current_path = tmp_path / "BENCH_lint.json"
+    baseline_path = tmp_path / "baseline.json"
+    current_path.write_text(json.dumps(current))
+    baseline_path.write_text(json.dumps(baseline))
+    if monkeypatch is not None and factor is not None:
+        monkeypatch.setenv("REPRO_LINT_PERF_FACTOR", str(factor))
+    return main([str(current_path), str(baseline_path)])
+
+
+class TestWarmBudget:
+    def test_within_budget_passes(self, tmp_path):
+        assert _run(tmp_path, _current(), _baseline()) == 0
+
+    def test_slow_warm_run_fails(self, tmp_path):
+        assert (
+            _run(tmp_path, _current(warm_s=2.0), _baseline()) == 1
+        )
+
+    def test_factor_scales_the_budget(self, tmp_path, monkeypatch):
+        # 1.8s fails at the default 1.5x but passes at 2.0x.
+        assert _run(tmp_path, _current(warm_s=1.8), _baseline()) == 1
+        assert (
+            _run(
+                tmp_path,
+                _current(warm_s=1.8),
+                _baseline(),
+                monkeypatch,
+                factor=2.0,
+            )
+            == 0
+        )
+
+    def test_exactly_at_ceiling_passes(self, tmp_path):
+        assert _run(tmp_path, _current(warm_s=1.5), _baseline()) == 0
+
+
+class TestHitRateFloor:
+    def test_churning_cache_fails_even_when_fast(self, tmp_path):
+        assert (
+            _run(
+                tmp_path,
+                _current(warm_summary_hit_rate=0.5),
+                _baseline(),
+            )
+            == 1
+        )
+
+    def test_floor_is_optional(self, tmp_path):
+        baseline = _baseline()
+        del baseline["min_warm_summary_hit_rate"]
+        assert (
+            _run(
+                tmp_path,
+                _current(warm_summary_hit_rate=0.0),
+                baseline,
+            )
+            == 0
+        )
+
+
+class TestBadInput:
+    def test_missing_current_exits_2(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(_baseline()))
+        try:
+            code = main(
+                [str(tmp_path / "missing.json"), str(baseline_path)]
+            )
+        except SystemExit as exc:
+            code = exc.code
+        assert code == 2
+
+    def test_malformed_payload_exits_2(self, tmp_path):
+        current = _current()
+        del current["warm_s"]
+        assert _run(tmp_path, current, _baseline()) == 2

@@ -1,0 +1,467 @@
+"""SSTD014/015/016: resource lifecycle and exception contracts.
+
+Each seeded positive is a bug class the PR-6 analyzer could not see:
+a shared-memory segment leaked on an exception path, an exception
+escaping a declared ``# raises:`` contract, and a ``submit`` after
+``shutdown``.  The negatives pin the sanctioned idioms — ``finally``
+and ``with`` coverage, ownership transfers, ``# owns-resource:``, and
+documented-idempotent double release.
+"""
+
+import json
+from pathlib import Path
+
+from repro.devtools.lint import all_rules, lint_paths
+from repro.devtools.lint.cache import LintCache
+from repro.devtools.lint.cli import explain_rule, main as lint_main
+from repro.devtools.lint.reporters import render_sarif
+
+LEAK_RULES = all_rules(["SSTD014"])
+CONTRACT_RULES = all_rules(["SSTD015"])
+MISUSE_RULES = all_rules(["SSTD016"])
+
+
+def run_over(tmp_path: Path, files: dict[str, str], rules, cache=None):
+    for name, src in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(src)
+    return lint_paths([tmp_path], rules=rules, cache=cache)
+
+
+LEAKY_SEGMENT = '''
+import repro.system.shm as shm
+
+__all__ = ["decode"]
+
+
+def decode(arrays, risky):
+    owner = shm.publish_arrays(arrays)
+    risky()
+    owner.close_and_unlink()
+'''
+
+GUARDED_SEGMENT = '''
+import repro.system.shm as shm
+
+__all__ = ["decode"]
+
+
+def decode(arrays, risky):
+    owner = shm.publish_arrays(arrays)
+    try:
+        risky()
+    finally:
+        owner.close_and_unlink()
+'''
+
+
+class TestLeakOnExceptionPath:
+    def test_seeded_positive_segment_leak(self, tmp_path):
+        findings = run_over(
+            tmp_path, {"leak.py": LEAKY_SEGMENT}, LEAK_RULES
+        )
+        assert [f.rule_id for f in findings] == ["SSTD014"]
+        assert "shared-memory segment" in findings[0].message
+        assert "raises" in findings[0].message
+
+    def test_leak_path_carries_steps(self, tmp_path):
+        findings = run_over(
+            tmp_path, {"leak.py": LEAKY_SEGMENT}, LEAK_RULES
+        )
+        steps = findings[0].steps
+        assert len(steps) == 2
+        assert "acquired here" in steps[0][3]
+        assert steps[0][1] < steps[1][1]  # acquire before leak site
+
+    def test_finally_covered_is_clean(self, tmp_path):
+        assert (
+            run_over(tmp_path, {"ok.py": GUARDED_SEGMENT}, LEAK_RULES)
+            == []
+        )
+
+    def test_with_covered_is_clean(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["read"]
+
+
+def read(handle, key):
+    with shm.attach(handle) as seg:
+        return seg.array(key).sum()
+'''
+        assert run_over(tmp_path, {"ok.py": src}, LEAK_RULES) == []
+
+    def test_return_transfers_ownership(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["publish"]
+
+
+def publish(arrays):
+    owner = shm.publish_arrays(arrays)
+    return owner
+'''
+        assert run_over(tmp_path, {"ok.py": src}, LEAK_RULES) == []
+
+    def test_return_while_held_is_a_normal_path_leak(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["peek"]
+
+
+def peek(arrays):
+    owner = shm.publish_arrays(arrays)
+    return None
+'''
+        findings = run_over(tmp_path, {"leak.py": src}, LEAK_RULES)
+        assert [f.rule_id for f in findings] == ["SSTD014"]
+        assert "return" in findings[0].message
+
+    def test_discarded_acquire_is_a_leak(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["fire"]
+
+
+def fire(arrays):
+    shm.publish_arrays(arrays)
+'''
+        findings = run_over(tmp_path, {"leak.py": src}, LEAK_RULES)
+        assert [f.rule_id for f in findings] == ["SSTD014"]
+        assert "discarded" in findings[0].message
+
+    def test_owns_resource_annotation_transfers(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["Holder"]
+
+
+class Holder:
+    def __init__(self, arrays):
+        self.owner = shm.publish_arrays(arrays)  # owns-resource: released by close()
+
+    def close(self):
+        self.owner.close_and_unlink()
+'''
+        assert run_over(tmp_path, {"holder.py": src}, LEAK_RULES) == []
+
+    def test_unannotated_attribute_store_flagged(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["Holder"]
+
+
+class Holder:
+    def __init__(self, arrays):
+        self.owner = shm.publish_arrays(arrays)
+'''
+        findings = run_over(tmp_path, {"holder.py": src}, LEAK_RULES)
+        assert [f.rule_id for f in findings] == ["SSTD014"]
+        assert "owns-resource" in findings[0].message
+
+    def test_local_helper_shadowing_open_is_not_matched(self, tmp_path):
+        src = '''
+__all__ = ["open", "use"]
+
+
+def open(name):
+    return name
+
+
+def use(risky):
+    handle = open("x")
+    risky()
+    return handle
+'''
+        assert run_over(tmp_path, {"shadow.py": src}, LEAK_RULES) == []
+
+
+UNDECLARED_ESCAPE = '''
+__all__ = ["drain"]
+
+
+def drain(timeout):  # raises: TimeoutError
+    if timeout < 0:
+        raise ValueError("timeout must be >= 0")
+    raise TimeoutError("deadline")
+'''
+
+
+class TestExceptionContracts:
+    def test_seeded_positive_undeclared_escape(self, tmp_path):
+        findings = run_over(
+            tmp_path, {"api.py": UNDECLARED_ESCAPE}, CONTRACT_RULES
+        )
+        assert [f.rule_id for f in findings] == ["SSTD015"]
+        assert "ValueError" in findings[0].message
+        assert "TimeoutError" not in findings[0].message.split("but")[1]
+
+    def test_declared_superset_is_clean(self, tmp_path):
+        src = '''
+__all__ = ["submit"]
+
+
+def submit(x):  # raises: ValueError, RuntimeError
+    raise ValueError("bad")
+'''
+        assert run_over(tmp_path, {"api.py": src}, CONTRACT_RULES) == []
+
+    def test_transitive_escape_through_callee(self, tmp_path):
+        helper = '''
+__all__ = ["check"]
+
+
+def check(x):
+    if x < 0:
+        raise KeyError("missing")
+'''
+        api = '''
+from helper import check
+
+__all__ = ["fetch"]
+
+
+def fetch(x):  # raises: ValueError
+    check(x)
+    return x
+'''
+        findings = run_over(
+            tmp_path,
+            {"helper.py": helper, "api.py": api},
+            CONTRACT_RULES,
+        )
+        assert [f.rule_id for f in findings] == ["SSTD015"]
+        assert "KeyError" in findings[0].message
+        assert "check" in findings[0].message  # the chain is named
+
+    def test_broad_swallow_in_runtime_package(self, tmp_path):
+        src = '''
+__all__ = ["quiet"]
+
+
+def quiet(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        return None
+'''
+        findings = run_over(
+            tmp_path,
+            {"repro/workqueue/wq.py": src},
+            CONTRACT_RULES,
+        )
+        assert [f.rule_id for f in findings] == ["SSTD015"]
+        assert "swallows" in findings[0].message
+
+    def test_deliberate_sanction_allows_swallow(self, tmp_path):
+        src = '''
+__all__ = ["quiet"]
+
+
+def quiet(fn):
+    try:
+        return fn()
+    except Exception as exc:  # deliberate: task errors are data
+        return None
+'''
+        assert (
+            run_over(
+                tmp_path,
+                {"repro/workqueue/wq.py": src},
+                CONTRACT_RULES,
+            )
+            == []
+        )
+
+    def test_outside_runtime_packages_not_gated(self, tmp_path):
+        src = '''
+__all__ = ["quiet"]
+
+
+def quiet(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        return None
+'''
+        assert run_over(tmp_path, {"tool.py": src}, CONTRACT_RULES) == []
+
+
+SUBMIT_AFTER_SHUTDOWN = '''
+from repro.workqueue.process import ProcessWorkQueue
+
+__all__ = ["bad"]
+
+
+def bad(task):
+    q = ProcessWorkQueue(n_workers=2)
+    q.shutdown()
+    q.submit(task)
+'''
+
+
+class TestUseAfterRelease:
+    def test_seeded_positive_submit_after_shutdown(self, tmp_path):
+        findings = run_over(
+            tmp_path, {"uaf.py": SUBMIT_AFTER_SHUTDOWN}, MISUSE_RULES
+        )
+        assert [f.rule_id for f in findings] == ["SSTD016"]
+        assert "submit" in findings[0].message
+        assert "shutdown" in findings[0].message
+
+    def test_attach_handle_read_after_unlink(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["bad"]
+
+
+def bad(arrays):
+    owner = shm.publish_arrays(arrays)
+    owner.close_and_unlink()
+    return shm.attach(owner.handle)
+'''
+        findings = run_over(tmp_path, {"uaf.py": src}, MISUSE_RULES)
+        assert [f.rule_id for f in findings] == ["SSTD016"]
+        assert ".handle" in findings[0].message
+
+    def test_array_read_after_close(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["bad"]
+
+
+def bad(handle, key):
+    seg = shm.attach(handle)
+    seg.close()
+    return seg.array(key)
+'''
+        findings = run_over(tmp_path, {"uaf.py": src}, MISUSE_RULES)
+        assert [f.rule_id for f in findings] == ["SSTD016"]
+        assert "array" in findings[0].message
+
+    def test_documented_idempotent_double_release_clean(self, tmp_path):
+        src = '''
+import repro.system.shm as shm
+
+__all__ = ["twice"]
+
+
+def twice(arrays):
+    owner = shm.publish_arrays(arrays)
+    owner.close_and_unlink()
+    owner.close_and_unlink()
+'''
+        assert run_over(tmp_path, {"ok.py": src}, MISUSE_RULES) == []
+
+    def test_use_before_release_clean(self, tmp_path):
+        src = '''
+from repro.workqueue.process import ProcessWorkQueue
+
+__all__ = ["ok"]
+
+
+def ok(task):
+    q = ProcessWorkQueue(n_workers=2)
+    try:
+        q.submit(task)
+        return q.drain()
+    finally:
+        q.shutdown()
+'''
+        assert run_over(tmp_path, {"ok.py": src}, MISUSE_RULES) == []
+
+
+class TestFindingPlumbing:
+    def test_sarif_code_flows(self, tmp_path):
+        findings = run_over(
+            tmp_path, {"leak.py": LEAKY_SEGMENT}, LEAK_RULES
+        )
+        payload = json.loads(
+            render_sarif(findings, n_files=1, rules=LEAK_RULES)
+        )
+        result = payload["runs"][0]["results"][0]
+        locations = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(locations) == 2
+        assert "acquired here" in locations[0]["location"]["message"]["text"]
+
+    def test_steps_round_trip_through_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        fixtures = tmp_path / "fixtures"
+        fixtures.mkdir()
+        cold = run_over(
+            fixtures,
+            {"leak.py": LEAKY_SEGMENT},
+            LEAK_RULES,
+            cache=LintCache(cache_dir),
+        )
+        warm_cache = LintCache(cache_dir)
+        warm = lint_paths(
+            [fixtures], rules=LEAK_RULES, cache=warm_cache
+        )
+        assert warm_cache.hits > 0
+        assert [f.steps for f in warm] == [f.steps for f in cold]
+        assert warm[0].steps  # not dropped by serialization
+
+
+class TestExplainCli:
+    def test_explain_known_rule(self, capsys):
+        assert lint_main(["--explain", "SSTD014"]) == 0
+        out = capsys.readouterr().out
+        assert "SSTD014" in out
+        assert "owns-resource" in out  # sanction syntax
+        assert "finally" in out  # example
+
+    def test_explain_engine_rule(self, capsys):
+        assert lint_main(["--explain", "SSTD000"]) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert lint_main(["--explain", "SSTD999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_explain_via_repro_cli(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--explain", "SSTD015"]) == 0
+        assert "raises:" in capsys.readouterr().out
+
+    def test_every_rule_explains(self):
+        for rule in all_rules():
+            text, code = explain_rule(rule.rule_id)
+            assert code == 0
+            assert rule.rule_id in text
+
+    def test_disable_complements_selection(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("def f():\n    return []\n")  # no __all__
+        assert (
+            lint_main(["--no-cache", "--select", "SSTD006", str(target)])
+            == 1
+        )
+        capsys.readouterr()
+        assert (
+            lint_main(
+                [
+                    "--no-cache",
+                    "--select",
+                    "SSTD006",
+                    "--disable",
+                    "SSTD006",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+
+    def test_disable_unknown_rule_exits_2(self, capsys):
+        assert lint_main(["--disable", "SSTD999", "."]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
