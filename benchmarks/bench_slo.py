@@ -1,0 +1,246 @@
+"""Deadline SLO under bursty load — open-loop vs latency feedback.
+
+The paper's controllability experiment (Figure 6) measures how often an
+interval's Truth Discovery work drains within a deadline.  The open-loop
+system re-decodes every claim that received reports, so a traffic burst
+(or the steadily growing cumulative decode cost) blows straight through
+the deadline.  The closed loop added in this PR feeds measured per-claim
+cost back into an admission controller that defers overflow work to
+calmer intervals and sheds hopelessly stale claims, trading estimate
+freshness for deadline hits.
+
+This benchmark drives one bursty trace through ``run_intervals`` on the
+process backend twice:
+
+- **baseline** — ``feedback=None``: execution times are deadline-
+  independent, so this leg doubles as the calibration run.  The deadline
+  is set at the 40th percentile of the baseline's own per-interval
+  execution times, which pins the baseline hit rate near 0.4 by
+  construction on any machine — a deadline the open loop mostly misses.
+- **feedback** — ``FeedbackConfig`` with admission control and a
+  trajectory recorder: the leg the CI gate holds to a hit-rate floor
+  the baseline is *not* required to meet.
+
+The feedback leg's PID trajectory is replayed in-process and must be
+bit-identical (the same guarantee ``repro-cli replay-controller``
+checks from the command line).  Results land in ``BENCH_slo.json`` at
+the repo root (consumed by ``benchmarks/check_slo.py``), the stitched
+Chrome trace in ``BENCH_slo_trace.json`` (uploaded by CI), and the
+human-readable table in ``benchmarks/results/slo.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.control import (
+    AdmissionConfig,
+    FeedbackConfig,
+    load_trajectory,
+    replay_trajectory,
+)
+from repro.obs import percentile, stitch_metadata, write_chrome_trace
+from repro.streams.events import PopulationConfig, ScenarioSpec
+from repro.streams.generator import GeneratorConfig, generate_trace
+from repro.system.deadline import hit_rate_curve
+from repro.system.sstd_system import DistributedSSTD, SSTDSystemConfig
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, report_lines
+
+N_CLAIMS = 24
+N_INTERVALS = 16
+N_WORKERS = 2
+DEADLINE_PERCENTILE = 40.0
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_slo.json"
+BENCH_TRACE = Path(__file__).resolve().parent.parent / "BENCH_slo_trace.json"
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "results" / "slo_trajectory.jsonl"
+
+
+def _effective_cpu_count() -> int:
+    """Cores this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _bursty_trace():
+    """A trace whose per-interval load swings hard around truth flips.
+
+    High burst amplitude with a short decay concentrates reports around
+    each claim's truth transitions, so some replay intervals carry
+    several times the claim churn of their neighbours — the shape the
+    admission controller exists to absorb.
+    """
+    spec = ScenarioSpec(
+        name="SLO Bench",
+        duration=6 * 3600.0,
+        n_reports=max(600, int(300_000 * BENCH_SCALE)),
+        n_claims=N_CLAIMS,
+        claim_texts=("the bridge is closed", "the station is evacuated"),
+        topic="bench-slo",
+        mean_truth_flips=3.0,
+        claim_zipf_exponent=0.7,
+        burst_amplitude=8.0,
+        burst_decay=450.0,
+        diurnal_amplitude=0.6,
+        population=PopulationConfig(
+            n_sources=max(50, int(10_000 * BENCH_SCALE))
+        ),
+    )
+    return generate_trace(
+        spec, seed=BENCH_SEED, config=GeneratorConfig(with_text=False)
+    )
+
+
+def _leg_stats(result, deadline: float) -> dict:
+    times = result.execution_times
+    return {
+        "deadline_s": round(deadline, 6),
+        "hit_rate": round(result.hit_rate, 4),
+        "p50_s": round(percentile(times, 50.0), 6),
+        "p95_s": round(percentile(times, 95.0), 6),
+        "p99_s": round(percentile(times, 99.0), 6),
+        "mean_s": round(result.tracker.mean_execution_time, 6),
+        "total_lateness_s": round(result.tracker.total_lateness, 6),
+        "deferred_total": result.tracker.total_deferred,
+        "shed_total": result.tracker.total_shed,
+    }
+
+
+def test_slo_feedback_vs_open_loop():
+    trace = _bursty_trace()
+
+    # Baseline (calibration) leg: open loop, deadline-independent times.
+    # The placeholder deadline only labels hit/miss records we recompute
+    # below; execution times themselves do not depend on it.
+    # Both legs dispatch per claim (claims_per_shard=1): admission
+    # control decides *claims*, and the auto-sharded batched kernel
+    # amortizes decode so heavily across a shard that dropping claims
+    # from a shard barely drops its cost — per-claim tasks make the
+    # interval cost linear in what admission admits.
+    baseline_system = DistributedSSTD(
+        SSTDSystemConfig(
+            n_workers=N_WORKERS,
+            backend="processes",
+            control_enabled=False,
+            observability=True,
+            claims_per_shard=1,
+        )
+    )
+    baseline = baseline_system.run_intervals(
+        trace, n_intervals=N_INTERVALS, deadline=1e9
+    )
+    times = baseline.execution_times
+    assert len(times) == N_INTERVALS
+    deadline = percentile(times, DEADLINE_PERCENTILE)
+    assert deadline > 0
+    ((_, baseline_hit_rate),) = hit_rate_curve(times, [deadline])
+
+    # Feedback leg: latency-fed admission control at the calibrated
+    # deadline, with the PID trajectory recorded for offline replay.
+    TRAJECTORY_PATH.parent.mkdir(exist_ok=True)
+    feedback_system = DistributedSSTD(
+        SSTDSystemConfig(
+            n_workers=N_WORKERS,
+            backend="processes",
+            control_enabled=False,
+            observability=True,
+            claims_per_shard=1,
+            feedback=FeedbackConfig(
+                # Loss-bounds-latency mode: the calibrated deadline puts
+                # the workload in sustained overload (p40 of full-batch
+                # times), where force-admitting stale work would re-blow
+                # the deadline; shedding keeps the loop on budget.
+                admission=AdmissionConfig(shed_after=3),
+                trajectory_path=str(TRAJECTORY_PATH),
+            ),
+        )
+    )
+    feedback = feedback_system.run_intervals(
+        trace, n_intervals=N_INTERVALS, deadline=deadline
+    )
+    assert len(feedback.execution_times) == N_INTERVALS
+
+    # The recorded trajectory must replay bit-identically at the
+    # recorded gains — the invariant `repro-cli replay-controller`
+    # enforces before accepting a what-if gain sweep.
+    samples = load_trajectory(TRAJECTORY_PATH)
+    assert len(samples) == N_INTERVALS
+    steps = replay_trajectory(samples)
+    replay_bit_identical = all(step.matches for step in steps)
+    assert replay_bit_identical, "PID replay diverged at recorded gains"
+
+    # Export the stitched cross-process timeline CI uploads.  Two
+    # workers ran, so two clock syncs must have been stitched in.
+    stitch = stitch_metadata(feedback_system.obs.stitch)
+    assert len(stitch) == N_WORKERS
+    dropped = feedback_system.obs.tracer.dropped
+    write_chrome_trace(
+        feedback_system.obs.tracer.events(),
+        BENCH_TRACE,
+        metrics=feedback_system.obs.metrics.snapshot(),
+        clock_kind=feedback_system.obs.clock.kind,
+        dropped=dropped,
+        stitch=stitch,
+    )
+
+    effective_cpus = _effective_cpu_count()
+    baseline_stats = _leg_stats(baseline, deadline)
+    baseline_stats["hit_rate"] = round(baseline_hit_rate, 4)
+    feedback_stats = _leg_stats(feedback, deadline)
+    payload = {
+        "schema": 1,
+        "benchmark": "slo",
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "cpu_count": os.cpu_count(),
+        "effective_cpu_count": effective_cpus,
+        "n_reports": len(trace.reports),
+        "n_claims": N_CLAIMS,
+        "n_intervals": N_INTERVALS,
+        "n_workers": N_WORKERS,
+        "deadline_s": round(deadline, 6),
+        "deadline_percentile": DEADLINE_PERCENTILE,
+        "legs": {"baseline": baseline_stats, "feedback": feedback_stats},
+        "replay_bit_identical": replay_bit_identical,
+        "trajectory_samples": len(samples),
+        "stitched_workers": len(stitch),
+        "trace_dropped_events": dropped,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        "Deadline SLO under bursty load — open loop vs latency feedback",
+        f"{len(trace.reports):,} reports, {N_CLAIMS} claims, "
+        f"{N_INTERVALS} intervals, {N_WORKERS} workers, scale={BENCH_SCALE}, "
+        f"cpus={os.cpu_count()} (effective {effective_cpus})",
+        f"deadline (p{DEADLINE_PERCENTILE:.0f} of baseline): {deadline * 1e3:.1f} ms",
+        f"{'leg':>10}{'hit rate':>10}{'p50 ms':>9}{'p95 ms':>9}"
+        f"{'p99 ms':>9}{'defer':>7}{'shed':>6}",
+    ]
+    for name, stats in (("baseline", baseline_stats), ("feedback", feedback_stats)):
+        lines.append(
+            f"{name:>10}{stats['hit_rate']:>10.3f}"
+            f"{stats['p50_s'] * 1e3:>9.1f}{stats['p95_s'] * 1e3:>9.1f}"
+            f"{stats['p99_s'] * 1e3:>9.1f}"
+            f"{stats['deferred_total']:>7}{stats['shed_total']:>6}"
+        )
+    lines.append(
+        f"replay: {len(samples)} PID updates, bit-identical="
+        f"{replay_bit_identical}; stitched workers={len(stitch)}, "
+        f"dropped events={dropped}"
+    )
+    report_lines("slo", lines)
+
+    # The open loop admits everything; the closed loop must actually
+    # have exercised admission control on this workload.
+    assert baseline_stats["deferred_total"] == 0
+    assert feedback_stats["deferred_total"] > 0
+    # The hit-rate *floor* is enforced by benchmarks/check_slo.py with
+    # the committed baseline; here we only pin the structural claim that
+    # feedback cannot do worse than open loop by more than one interval
+    # (timing noise on a shared CI box).
+    assert feedback.hit_rate >= baseline_hit_rate - 1.0 / N_INTERVALS

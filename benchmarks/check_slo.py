@@ -1,0 +1,119 @@
+"""CI gate for the SLO benchmark (``benchmarks/bench_slo.py``).
+
+Usage::
+
+    python benchmarks/check_slo.py [BENCH_slo.json] [baseline.json]
+
+Compares a fresh ``BENCH_slo.json`` against the committed policy in
+``benchmarks/baselines/slo_baseline.json``:
+
+- the **feedback** leg's deadline hit rate must meet ``hit_rate_floor``;
+- the **baseline** (open-loop) leg is *exempt* from the floor — it is
+  expected to miss it, and the gate fails if it doesn't stay below the
+  floor, because then the workload no longer stresses the deadline and
+  the feedback leg's pass is vacuous;
+- the recorded PID trajectory must have replayed bit-identically;
+- both process-backend workers must have been clock-stitched into the
+  exported timeline.
+
+Exit codes: 0 = pass, 1 = SLO regression, 2 = missing/invalid inputs
+(e.g. the benchmark did not run, or scale mismatch with the baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_slo.json"
+BASELINE_JSON = REPO_ROOT / "benchmarks" / "baselines" / "slo_baseline.json"
+
+
+def _load(path: Path, what: str) -> dict:
+    if not path.exists():
+        print(f"FAIL: {what} not found at {path}")
+        raise SystemExit(2)
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: could not parse {what} at {path}: {exc}")
+        raise SystemExit(2) from exc
+
+
+def main(argv: list[str]) -> int:
+    bench_path = Path(argv[1]) if len(argv) > 1 else BENCH_JSON
+    baseline_path = Path(argv[2]) if len(argv) > 2 else BASELINE_JSON
+    bench = _load(bench_path, "benchmark result")
+    baseline = _load(baseline_path, "committed baseline")
+
+    if bench.get("scale") != baseline.get("scale"):
+        print(
+            f"FAIL: scale mismatch — benchmark ran at "
+            f"{bench.get('scale')}, baseline expects {baseline.get('scale')}"
+        )
+        return 2
+
+    floor = float(baseline["hit_rate_floor"])
+    floor_env = os.environ.get("REPRO_SLO_HIT_RATE_FLOOR")
+    if floor_env:
+        floor = float(floor_env)
+        print(f"using hit-rate floor {floor} from REPRO_SLO_HIT_RATE_FLOOR")
+
+    legs = bench.get("legs", {})
+    feedback = legs.get("feedback", {})
+    open_loop = legs.get("baseline", {})
+    failures: list[str] = []
+
+    fb_rate = float(feedback.get("hit_rate", 0.0))
+    verdict = "ok" if fb_rate >= floor else "FAIL"
+    print(f"{verdict}: feedback hit rate {fb_rate:.4f} (floor {floor})")
+    if fb_rate < floor:
+        failures.append(
+            f"feedback leg hit rate {fb_rate:.4f} below floor {floor}"
+        )
+
+    # The open loop is exempt from the floor by design — but if it
+    # *meets* the floor, the calibrated deadline no longer stresses the
+    # system and the feedback pass proves nothing.
+    ol_rate = float(open_loop.get("hit_rate", 1.0))
+    verdict = "ok" if ol_rate < floor else "FAIL"
+    print(
+        f"{verdict}: open-loop hit rate {ol_rate:.4f} stays below the "
+        f"floor (exempt from meeting it)"
+    )
+    if ol_rate >= floor:
+        failures.append(
+            f"open-loop leg hit rate {ol_rate:.4f} reached the floor "
+            f"{floor} — the workload no longer stresses the deadline"
+        )
+
+    if not bench.get("replay_bit_identical", False):
+        failures.append("PID trajectory did not replay bit-identically")
+    print(
+        ("ok" if bench.get("replay_bit_identical") else "FAIL")
+        + ": trajectory replay bit-identical at recorded gains"
+    )
+
+    stitched = int(bench.get("stitched_workers", 0))
+    expected_workers = int(bench.get("n_workers", 0))
+    verdict = "ok" if stitched == expected_workers else "FAIL"
+    print(f"{verdict}: {stitched}/{expected_workers} workers clock-stitched")
+    if stitched != expected_workers:
+        failures.append(
+            f"only {stitched} of {expected_workers} workers were stitched"
+        )
+
+    if failures:
+        print("\nSLO gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nSLO gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -13,6 +13,9 @@ Subcommands mirror the workflows of the examples and benchmarks:
 - ``repro-cli trace`` — run a traced batch of the distributed system
   over a trace file and export a Perfetto-loadable Chrome trace (see
   :mod:`repro.obs`);
+- ``repro-cli replay-controller`` — re-run a recorded PID trajectory
+  offline, optionally with modified gains (see
+  :mod:`repro.control.feedback`);
 - ``repro-cli lint`` — run the project's SSTD static-analysis rules
   (see :mod:`repro.devtools.lint`); exits non-zero on findings.
 
@@ -250,7 +253,7 @@ def _add_trace(subparsers: argparse._SubParsersAction) -> None:
 
 
 def _run_trace(args: argparse.Namespace) -> int:
-    from repro.obs import write_chrome_trace, write_jsonl
+    from repro.obs import stitch_metadata, write_chrome_trace, write_jsonl
     from repro.system.sstd_system import (
         BACKENDS,
         DistributedSSTD,
@@ -275,16 +278,25 @@ def _run_trace(args: argparse.Namespace) -> int:
     result = system.run_batch(trace.reports)
     events = system.obs.tracer.events()
     snapshot = system.obs.metrics.snapshot()
+    dropped = system.obs.tracer.dropped
+    stitch = stitch_metadata(system.obs.stitch)
     write_chrome_trace(
         events,
         args.output,
         metrics=snapshot,
         clock_kind=system.obs.clock.kind,
+        dropped=dropped,
+        stitch=stitch,
     )
     if args.jsonl is not None:
         count = write_jsonl(events, args.jsonl)
         print(f"wrote {count} span events to {args.jsonl}")
-    dropped = system.obs.tracer.dropped
+    if dropped:
+        print(
+            f"warning: ring buffer dropped {dropped} events; the timeline "
+            "is truncated (raise the tracer capacity to keep them)",
+            file=sys.stderr,
+        )
     print(
         f"{args.backend}: {result.n_jobs} jobs / {result.n_tasks} tasks, "
         f"makespan {result.makespan:.3f}s ({system.obs.clock.kind} clock)"
@@ -293,7 +305,109 @@ def _run_trace(args: argparse.Namespace) -> int:
         f"wrote {len(events)} events to {args.output}"
         + (f" ({dropped} dropped by the ring buffer)" if dropped else "")
     )
+    if stitch:
+        workers = ", ".join(sorted(stitch))
+        print(f"stitched worker timelines: {workers}")
     print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _add_replay_controller(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "replay-controller",
+        help="re-run a recorded PID trajectory offline",
+        description=(
+            "Replays a controller trajectory recorded by the feedback "
+            "layer (FeedbackConfig.trajectory_path or "
+            "DTMConfig.trajectory_path).  Without gain overrides the "
+            "replay is bit-identical to the recording — a determinism "
+            "check; with --kp/--ki/--kd it answers what the alternative "
+            "tuning would have output against the same error sequence."
+        ),
+    )
+    parser.add_argument("trajectory", type=Path,
+                        help="trajectory .jsonl recorded by a run")
+    parser.add_argument("--kp", type=float, default=None,
+                        help="override the proportional gain")
+    parser.add_argument("--ki", type=float, default=None,
+                        help="override the integral gain")
+    parser.add_argument("--kd", type=float, default=None,
+                        help="override the derivative gain")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="save replayed steps as JSONL")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="per-controller steps to print (0 = none)")
+    parser.set_defaults(func=_run_replay_controller)
+
+
+def _run_replay_controller(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.control.feedback import load_trajectory, replay_trajectory
+    from repro.control.pid import PIDGains
+
+    samples = load_trajectory(args.trajectory)
+    if not samples:
+        print("trajectory has no samples", file=sys.stderr)
+        return 1
+    gains = None
+    if args.kp is not None or args.ki is not None or args.kd is not None:
+        base = samples[0].gains
+        gains = PIDGains(
+            kp=args.kp if args.kp is not None else base.kp,
+            ki=args.ki if args.ki is not None else base.ki,
+            kd=args.kd if args.kd is not None else base.kd,
+        )
+    steps = replay_trajectory(samples, gains=gains)
+
+    by_controller: dict[str, list] = {}
+    for step in steps:
+        by_controller.setdefault(step.controller, []).append(step)
+    identical = all(step.matches for step in steps)
+    mode = (
+        f"modified gains kp={gains.kp} ki={gains.ki} kd={gains.kd}"
+        if gains is not None
+        else "recorded gains"
+    )
+    print(f"replayed {len(steps)} samples from {args.trajectory} ({mode})")
+    for name in sorted(by_controller):
+        group = by_controller[name]
+        worst = max(step.divergence for step in group)
+        print(
+            f"  {name}: {len(group)} steps, max divergence {worst:.6g}"
+            + ("" if worst else " (bit-identical)")
+        )
+        if args.limit:
+            for step in group[: args.limit]:
+                print(
+                    f"    e={step.error:+.4f} recorded={step.recorded_output:+.4f} "
+                    f"replayed={step.replayed_output:+.4f}"
+                )
+    if args.output is not None:
+        with args.output.open("w", encoding="utf-8") as handle:
+            for step in steps:
+                handle.write(
+                    json.dumps(
+                        {
+                            "controller": step.controller,
+                            "index": step.index,
+                            "error": step.error,
+                            "dt": step.dt,
+                            "recorded_output": step.recorded_output,
+                            "replayed_output": step.replayed_output,
+                        },
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+        print(f"wrote {len(steps)} replayed steps to {args.output}")
+    if gains is None and not identical:
+        print(
+            "error: replay at recorded gains diverged from the recording",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -395,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stats(subparsers)
     _add_replay(subparsers)
     _add_trace(subparsers)
+    _add_replay_controller(subparsers)
     _add_lint(subparsers)
     return parser
 

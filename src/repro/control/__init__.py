@@ -1,19 +1,41 @@
-"""Feedback control: PID controller, WCET model, control knobs."""
+"""Feedback control: PID controller, WCET model, control knobs, feedback loop."""
 
+from repro.control.feedback import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    FeedbackConfig,
+    IntervalFeedbackLoop,
+    ReplayStep,
+    TrajectoryRecorder,
+    TrajectorySample,
+    load_trajectory,
+    replay_trajectory,
+)
 from repro.control.knobs import GlobalControlKnob, KnobConfig, LocalControlKnob
 from repro.control.pid import PAPER_GAINS, PIDController, PIDGains
 from repro.control.rto import Allocation, JobDemand, RTOAllocator
 from repro.control.wcet import WCETModel
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "Allocation",
+    "FeedbackConfig",
     "GlobalControlKnob",
+    "IntervalFeedbackLoop",
+    "JobDemand",
     "KnobConfig",
     "LocalControlKnob",
     "PAPER_GAINS",
     "PIDController",
     "PIDGains",
-    "Allocation",
-    "JobDemand",
+    "ReplayStep",
     "RTOAllocator",
+    "TrajectoryRecorder",
+    "TrajectorySample",
     "WCETModel",
+    "load_trajectory",
+    "replay_trajectory",
 ]

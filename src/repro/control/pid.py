@@ -61,6 +61,11 @@ class PIDController:
             Defaults to a disabled recorder (standalone use).
         name: Label distinguishing this controller's trace events (the
             DTM runs one controller per job).
+        recorder: Optional trajectory recorder
+            (:class:`repro.control.feedback.TrajectoryRecorder`); every
+            update is appended at full float precision so the sequence
+            can be replayed bit-identically offline.  Typed loosely to
+            keep this module free of a feedback import.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class PIDController:
         output_limit: float = 0.0,
         obs: Observability | None = None,
         name: str = "pid",
+        recorder: object | None = None,
     ) -> None:
         if sample_time <= 0:
             raise ValueError("sample_time must be > 0")
@@ -82,6 +88,7 @@ class PIDController:
         self.output_limit = output_limit
         self.obs = obs if obs is not None else Observability.disabled()
         self.name = name
+        self.recorder = recorder
         self.reset()
 
     def reset(self) -> None:
@@ -122,6 +129,8 @@ class PIDController:
         if self.output_limit:
             output = min(max(output, -self.output_limit), self.output_limit)
         self.last_output = output
+        if self.recorder is not None:
+            self.recorder.record(self, error=error, output=output, dt=dt)
         if self.obs.enabled:
             self.obs.metrics.observe("pid.error", error, bounds=PID_BUCKETS)
             self.obs.metrics.observe("pid.output", output, bounds=PID_BUCKETS)

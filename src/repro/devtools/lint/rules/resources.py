@@ -155,6 +155,15 @@ RESOURCE_SPECS: tuple[ResourceSpec, ...] = (
         context_manager=True,
         idempotent_release=True,
     ),
+    ResourceSpec(
+        kind="trajectory-recorder",
+        what="controller trajectory recorder",
+        acquire=("repro.control.feedback.TrajectoryRecorder",),
+        release=("close",),
+        uses=("record",),
+        context_manager=True,
+        idempotent_release=True,
+    ),
 )
 
 _SPEC_BY_KIND = {spec.kind: spec for spec in RESOURCE_SPECS}

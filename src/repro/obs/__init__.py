@@ -33,14 +33,17 @@ from repro.obs.metrics import (
     HistogramSnapshot,
     MetricRegistry,
     MetricsSnapshot,
+    nearest_rank,
     percentile,
 )
 from repro.obs.runtime import Observability, env_enabled, get_obs, set_obs, using
 from repro.obs.spans import SpanEvent, SpanTracer
+from repro.obs.stitch import ClockSync, rebase_events, stitch_metadata
 
 __all__ = [
     "BYTE_BUCKETS",
     "Clock",
+    "ClockSync",
     "DEFAULT_BUCKETS",
     "HistogramSnapshot",
     "ManualClock",
@@ -55,8 +58,11 @@ __all__ = [
     "env_enabled",
     "get_obs",
     "jsonl_lines",
+    "nearest_rank",
     "percentile",
+    "rebase_events",
     "set_obs",
+    "stitch_metadata",
     "using",
     "write_chrome_trace",
     "write_jsonl",

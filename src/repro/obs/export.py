@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.spans import SpanEvent
@@ -62,6 +62,8 @@ def chrome_trace(
     events: Sequence[SpanEvent],
     metrics: MetricsSnapshot | None = None,
     clock_kind: str = "",
+    dropped: int = 0,
+    stitch: Mapping[str, object] | None = None,
 ) -> dict:
     """Build a Chrome trace-event document from recorded events.
 
@@ -70,6 +72,13 @@ def chrome_trace(
         metrics: Optional registry snapshot embedded as ``otherData``.
         clock_kind: Clock domain label (``wall``/``virtual``) recorded in
             the document metadata.
+        dropped: Events evicted by the tracer's ring buffer; recorded as
+            ``otherData.dropped_events`` so a truncated timeline is
+            never silently misleading.
+        stitch: Per-worker clock-sync quality blocks (offset, round-trip
+            uncertainty, dropped worker spans — see
+            :func:`repro.obs.stitch.stitch_metadata`); embedded as
+            ``otherData.stitch`` when non-empty.
     """
     ordered = sorted(events, key=lambda e: e.seq)
     tracks = sorted({event.track for event in ordered})
@@ -110,10 +119,13 @@ def chrome_trace(
             "source": "repro.obs",
             "clock": clock_kind,
             "n_events": len(ordered),
+            "dropped_events": dropped,
         },
     }
     if metrics is not None:
         document["otherData"]["metrics"] = metrics.as_dict()
+    if stitch:
+        document["otherData"]["stitch"] = dict(stitch)
     return document
 
 
@@ -122,10 +134,18 @@ def write_chrome_trace(
     path: Path | str,
     metrics: MetricsSnapshot | None = None,
     clock_kind: str = "",
+    dropped: int = 0,
+    stitch: Mapping[str, object] | None = None,
 ) -> Path:
     """Write the Chrome trace-event JSON document; returns the path."""
     path = Path(path)
-    document = chrome_trace(events, metrics=metrics, clock_kind=clock_kind)
+    document = chrome_trace(
+        events,
+        metrics=metrics,
+        clock_kind=clock_kind,
+        dropped=dropped,
+        stitch=stitch,
+    )
     path.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -32,6 +32,7 @@ __all__ = [
     "HistogramSnapshot",
     "MetricRegistry",
     "MetricsSnapshot",
+    "nearest_rank",
     "percentile",
 ]
 
@@ -67,6 +68,22 @@ BYTE_BUCKETS: tuple[float, ...] = (
 )
 
 
+def nearest_rank(count: int, q: float) -> int:
+    """1-based nearest rank of the ``q``-th percentile among ``count`` samples.
+
+    The one place the rank arithmetic lives: :func:`percentile` (exact,
+    over raw samples), :meth:`HistogramSnapshot.quantile`
+    (bucket-resolution), and :class:`repro.system.monitor.MonitorSummary`
+    (through :func:`percentile`) all agree on it.  ``q=0`` maps to rank
+    1 (the minimum) and ``q=100`` to rank ``count`` (the maximum).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if count < 1:
+        raise ValueError(f"need at least one sample, got {count}")
+    return min(count, max(1, math.ceil(q * count / 100.0)))
+
+
 def percentile(values: list[float] | tuple[float, ...], q: float) -> float:
     """Nearest-rank percentile of raw samples; 0.0 for an empty list.
 
@@ -74,13 +91,14 @@ def percentile(values: list[float] | tuple[float, ...], q: float) -> float:
     sample (p50 of [1, 2, 3] is 2), which is what operators expect from
     queue-depth and latency summaries.
     """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile q must be in [0, 100], got {q}")
     if not values:
+        # Validate q even on the empty shortcut so callers get the same
+        # contract regardless of sample count.
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
         return 0.0
     ordered = sorted(values)
-    rank = min(len(ordered), max(1, math.ceil(q * len(ordered) / 100.0)))
-    return float(ordered[rank - 1])
+    return float(ordered[nearest_rank(len(ordered), q) - 1])
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,7 +130,7 @@ class HistogramSnapshot:
             raise ValueError(f"quantile q must be in [0, 100], got {q}")
         if self.count == 0:
             return 0.0
-        target = max(1, math.ceil(q * self.count / 100.0))
+        target = nearest_rank(self.count, q)
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
             cumulative += bucket_count
@@ -309,6 +327,17 @@ class MetricRegistry:
     def gauge(self, name: str, default: float | None = None) -> float | None:
         with self._lock:
             return self._gauges.get(name, default)
+
+    def histogram(self, name: str) -> HistogramSnapshot | None:
+        """Frozen snapshot of one histogram; ``None`` if never observed.
+
+        Cheaper than :meth:`snapshot` for control-loop consumers (the
+        latency-mode DTM reads ``wq.task_seconds`` every sample period)
+        because only the requested series is copied under the lock.
+        """
+        with self._lock:
+            state = self._histograms.get(name)
+            return state.freeze() if state is not None else None
 
     def snapshot(self) -> MetricsSnapshot:
         """Consistent point-in-time copy; safe to pickle or serialize.

@@ -29,6 +29,7 @@ from typing import Iterator
 from repro.obs.clock import Clock, WallClock
 from repro.obs.metrics import MetricRegistry
 from repro.obs.spans import SpanTracer
+from repro.obs.stitch import ClockSync
 
 __all__ = [
     "Observability",
@@ -70,6 +71,10 @@ class Observability:
         self.enabled = bool(enabled)
         self.tracer = SpanTracer(self.clock, capacity=capacity)
         self.metrics = MetricRegistry()
+        # Per-worker clock syncs from the process backend's handshake;
+        # populated by ProcessWorkQueue and read by exporters after the
+        # queue itself is gone (see repro.obs.stitch).
+        self.stitch: dict[str, ClockSync] = {}
 
     @classmethod
     def from_env(

@@ -11,10 +11,9 @@ The buffer is a fixed-capacity ring: a run that emits more events than
 ``capacity`` keeps the most recent ones and counts the drops, so
 tracing can stay on in long runs without unbounded memory.  Recording
 is thread-safe (the thread-backed Work Queue records from worker
-threads); cross-*process* events are not stitched here — worker
-processes ship metric snapshots instead (see
-:mod:`repro.workqueue.process`), and span stitching is tracked as a
-ROADMAP follow-up.
+threads); cross-*process* events are recorded on per-process tracers and
+stitched onto the master timeline after a clock-offset handshake (see
+:mod:`repro.obs.stitch` and :mod:`repro.workqueue.process`).
 """
 
 from __future__ import annotations
@@ -123,6 +122,17 @@ class SpanTracer:
         """Record a point-in-time marker at the clock's current time."""
         now = self.clock.now()
         self._append(name, "instant", now, now, track, attrs)
+
+    def record_instant(
+        self, name: str, at: float, track: str = "main", **attrs: object
+    ) -> None:
+        """Record a marker with an explicit timestamp.
+
+        The entry point for cross-process stitching: a worker instant
+        rebased onto this tracer's clockline is re-recorded here, with
+        its original time preserved and a fresh sequence number.
+        """
+        self._append(name, "instant", at, at, track, attrs)
 
     @contextlib.contextmanager
     def span(

@@ -20,12 +20,18 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True)
 class IntervalRecord:
-    """Outcome of processing one time interval."""
+    """Outcome of processing one time interval.
+
+    ``n_deferred`` / ``n_shed`` count the admission controller's
+    decisions for the interval (always 0 without a feedback loop).
+    """
 
     index: int
     n_reports: int
     execution_time: float
     deadline: float
+    n_deferred: int = 0
+    n_shed: int = 0
 
     @property
     def hit(self) -> bool:
@@ -48,7 +54,14 @@ class DeadlineTracker:
         if self.deadline <= 0:
             raise ValueError("deadline must be > 0")
 
-    def record(self, index: int, n_reports: int, execution_time: float) -> IntervalRecord:
+    def record(
+        self,
+        index: int,
+        n_reports: int,
+        execution_time: float,
+        n_deferred: int = 0,
+        n_shed: int = 0,
+    ) -> IntervalRecord:
         if execution_time < 0:
             raise ValueError("execution_time must be >= 0")
         entry = IntervalRecord(
@@ -56,9 +69,19 @@ class DeadlineTracker:
             n_reports=n_reports,
             execution_time=execution_time,
             deadline=self.deadline,
+            n_deferred=n_deferred,
+            n_shed=n_shed,
         )
         self.records.append(entry)
         return entry
+
+    @property
+    def total_deferred(self) -> int:
+        return sum(r.n_deferred for r in self.records)
+
+    @property
+    def total_shed(self) -> int:
+        return sum(r.n_shed for r in self.records)
 
     @property
     def hit_rate(self) -> float:

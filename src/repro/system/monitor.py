@@ -26,13 +26,19 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True)
 class MonitorSample:
-    """One snapshot of the execution state."""
+    """One snapshot of the execution state.
+
+    ``task_p95`` is the p95 of the ``wq.task_seconds`` histogram at
+    sampling time (0.0 before the first task completes or when tracing
+    is off) — the signal the latency control mode feeds its PID from.
+    """
 
     time: float
     pending_tasks: int
     busy_workers: int
     total_workers: int
     jobs_with_backlog: int
+    task_p95: float = 0.0
 
     @property
     def utilization(self) -> float:
@@ -91,6 +97,11 @@ class MonitorSummary:
     @property
     def max_utilization(self) -> float:
         return max((s.utilization for s in self.samples), default=0.0)
+
+    @property
+    def p95_task_seconds(self) -> float:
+        """p95 of the sampled per-task latency p95s (0.0 with no data)."""
+        return percentile([s.task_p95 for s in self.samples], 95.0)
 
 
 class SystemMonitor:
@@ -157,16 +168,22 @@ class SystemMonitor:
                     "wq.active_workers", float(self.master.active_worker_count)
                 )
             )
+            hist = metrics.histogram("wq.task_seconds")
+            task_p95 = (
+                hist.quantile(95.0) if hist is not None and hist.count else 0.0
+            )
         else:
             pending = len(self.master.pending)
             busy = sum(1 for w in self.master.workers if w.busy)
             total = self.master.active_worker_count
+            task_p95 = 0.0
         sample = MonitorSample(
             time=self.simulator.now,
             pending_tasks=pending,
             busy_workers=busy,
             total_workers=total,
             jobs_with_backlog=backlog,
+            task_p95=task_p95,
         )
         self.samples.append(sample)
         if self.obs.enabled:

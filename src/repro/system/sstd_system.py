@@ -29,6 +29,7 @@ from repro.cluster.condor import CondorPool
 from repro.cluster.failures import FailureConfig, FailureInjector
 from repro.cluster.node import NodeSpec, uniform_pool
 from repro.cluster.simulation import PeriodicTask, Simulator
+from repro.control.feedback import FeedbackConfig, IntervalFeedbackLoop
 from repro.control.wcet import WCETModel
 from repro.core.sstd import SSTD, SSTDConfig, StreamingSSTD
 from repro.core.types import Report, TruthEstimate
@@ -147,6 +148,16 @@ class SSTDSystemConfig:
             force it; ``None`` (default) defers to the ``REPRO_TRACE``
             environment variable.  The simulated backend records on the
             virtual clock, the real backends on wall time.
+        feedback: Closed-loop control for the *real-backend* interval
+            replay (:class:`~repro.control.feedback.FeedbackConfig`):
+            a PID turns per-interval lateness into a headroom signal,
+            and deadline-aware admission control defers (or, opt-in,
+            sheds) claims that the observed p95 decode cost says cannot
+            finish within the deadline.  ``None`` (default) keeps the
+            open-loop behaviour — every dirty claim is decoded every
+            interval — so existing runs are bit-identical.  The
+            simulated backend's control loop is configured via ``dtm``
+            instead.
     """
 
     n_workers: int = 4
@@ -166,6 +177,7 @@ class SSTDSystemConfig:
     observability: bool | None = None
     claims_per_shard: int | None = None
     zero_copy: bool | None = None
+    feedback: FeedbackConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -265,6 +277,7 @@ class DistributedSSTD:
             condor,
             config.cost_model,
             max_workers=config.max_workers,
+            min_dwell=config.dtm.scale_dwell,
         )
         pool.scale_to(config.n_workers)
         if config.failures is not None:
@@ -580,6 +593,15 @@ class DistributedSSTD:
         and each claim's estimates are emitted at most once — the
         ``emitted_until`` watermark is tracked per claim, not per task,
         so shard composition never duplicates or drops an estimate.
+
+        With ``config.feedback`` set, an :class:`IntervalFeedbackLoop`
+        sits in front of dispatch: dirty claims (new reports, or work
+        deferred earlier) pass through admission control, deferred
+        claims stay dirty for the next interval (cumulative re-decode
+        makes deferral lossless — a later decode covers the same
+        reports), and shed claims leave the dirty set until new reports
+        arrive.  Per-interval lateness feeds the PID whose headroom
+        signal scales the next admission budget.
         """
         config = self.config
         tracker = DeadlineTracker(deadline=deadline)
@@ -593,8 +615,16 @@ class DistributedSSTD:
 
         history: dict[str, list[Report]] = collections.defaultdict(list)
         emitted_until: dict[str, float] = {}
+        dirty: set[str] = set()
+        # The executor installs the run's recorder on self.obs; the loop
+        # must be built after it so its instrumentation lands there too.
+        loop: IntervalFeedbackLoop | None = None
         executor = self._make_executor()
         try:
+            if config.feedback is not None:
+                loop = IntervalFeedbackLoop(
+                    deadline, config.feedback, obs=self.obs
+                )
             for index in range(n_intervals):
                 lo = trace.start + index * interval_len
                 hi = trace.start + (index + 1) * interval_len
@@ -610,11 +640,24 @@ class DistributedSSTD:
                 stack = None
                 owner = None
                 shard_claims: dict[str, list[str]] = {}
+                n_deferred = 0
+                n_shed = 0
                 try:
                     with using(self.obs):
-                        claim_ids = sorted(by_claim)
-                        for claim_id in claim_ids:
-                            history[claim_id].extend(by_claim[claim_id])
+                        for claim_id, new_reports in sorted(by_claim.items()):
+                            history[claim_id].extend(new_reports)
+                        if loop is not None:
+                            dirty.update(by_claim)
+                            decision = loop.plan(
+                                sorted(dirty), config.n_workers
+                            )
+                            claim_ids = sorted(decision.admitted)
+                            dirty.difference_update(decision.admitted)
+                            dirty.difference_update(decision.shed)
+                            n_deferred = len(decision.deferred)
+                            n_shed = len(decision.shed)
+                        else:
+                            claim_ids = sorted(by_claim)
                         shards = self._make_shards(
                             claim_ids, self._claims_per_shard(len(claim_ids))
                         )
@@ -664,6 +707,18 @@ class DistributedSSTD:
                         n_reports=len(batch),
                     )
                 self._check_failures(results)
+                if loop is not None:
+                    # Exact per-claim costs (shard wall time amortized
+                    # over its width) drive the next admission budget.
+                    loop.observe(
+                        execution_time,
+                        [
+                            r.wall_time
+                            / max(1, len(shard_claims[r.job_id]))
+                            for r in results
+                        ],
+                        busy_time=sum(r.wall_time for r in results),
+                    )
                 if compute_estimates:
                     for result in results:
                         if stack is not None:
@@ -686,9 +741,17 @@ class DistributedSSTD:
                                 if since < e.timestamp <= hi
                             )
                             emitted_until[claim_id] = hi
-                tracker.record(index, len(batch), execution_time)
+                tracker.record(
+                    index,
+                    len(batch),
+                    execution_time,
+                    n_deferred=n_deferred,
+                    n_shed=n_shed,
+                )
         finally:
             executor.shutdown()
+            if loop is not None:
+                loop.close()
         estimates.sort(key=lambda e: (e.claim_id, e.timestamp))
         return IntervalRunResult(
             tracker=tracker,

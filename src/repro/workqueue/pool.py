@@ -22,7 +22,17 @@ __all__ = [
 
 
 class ElasticWorkerPool:
-    """Scales the worker count against an HTCondor pool."""
+    """Scales the worker count against an HTCondor pool.
+
+    Args:
+        min_dwell: Minimum (virtual) seconds between scaling moves in
+            *opposite* directions.  A latency-fed controller can flip
+            its pool-size target between adjacent sizes on consecutive
+            monitor ticks (observed p95 moves with every sample); the
+            dwell window suppresses the reversal, so the pool holds its
+            last direction until the signal persists.  Same-direction
+            moves are never delayed; ``0`` (default) disables damping.
+    """
 
     def __init__(
         self,
@@ -33,11 +43,14 @@ class ElasticWorkerPool:
         worker_footprint: ResourceSpec = WORKER_FOOTPRINT,
         min_workers: int = 1,
         max_workers: int | None = None,
+        min_dwell: float = 0.0,
     ) -> None:
         if min_workers < 0:
             raise ValueError("min_workers must be >= 0")
         if max_workers is not None and max_workers < min_workers:
             raise ValueError("max_workers must be >= min_workers")
+        if min_dwell < 0:
+            raise ValueError("min_dwell must be >= 0")
         self.simulator = simulator
         self.master = master
         self.condor = condor
@@ -45,6 +58,9 @@ class ElasticWorkerPool:
         self.worker_footprint = worker_footprint
         self.min_workers = min_workers
         self.max_workers = max_workers
+        self.min_dwell = min_dwell
+        self._last_direction = 0
+        self._last_scale_at = float("-inf")
 
     @property
     def size(self) -> int:
@@ -69,13 +85,29 @@ class ElasticWorkerPool:
         """Grow or shrink toward ``target`` workers; returns the new size.
 
         Growth stops early (without raising) when the cluster runs out of
-        room — the controller treats the actuator as saturated.
+        room — the controller treats the actuator as saturated.  A move
+        that reverses the previous scaling direction within ``min_dwell``
+        seconds is suppressed (oscillation damping); the current size is
+        returned unchanged.
         """
         if target < 0:
             raise ValueError("target must be >= 0")
         target = max(target, self.min_workers)
         if self.max_workers is not None:
             target = min(target, self.max_workers)
+
+        direction = (target > self.size) - (target < self.size)
+        if (
+            direction != 0
+            and self.min_dwell > 0
+            and self._last_direction != 0
+            and direction != self._last_direction
+            and self.simulator.now - self._last_scale_at < self.min_dwell
+        ):
+            return self.size
+        if direction != 0:
+            self._last_direction = direction
+            self._last_scale_at = self.simulator.now
 
         while self.size < target:
             try:

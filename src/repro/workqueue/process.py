@@ -31,6 +31,7 @@ yields a result whose ``error`` is a picklable
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import pickle
@@ -41,12 +42,21 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.obs import BYTE_BUCKETS, MetricsSnapshot, Observability, WallClock, using
+from repro.obs.stitch import ClockSync, rebase_events
 from repro.workqueue.local import LocalResult
 from repro.workqueue.task import Task, TaskError
 
 __all__ = [
     "ProcessWorkQueue",
 ]
+
+#: Sentinel tag routing clock-offset handshake tuples through the same
+#: inbox/outbox pair as tasks and results.  Probe (master -> worker):
+#: ``(_HANDSHAKE, t0)``; reply (worker -> master): ``(_HANDSHAKE, name,
+#: t0, w1)``.  FIFO queues guarantee the probe precedes every dispatch
+#: and the reply precedes every result, so the master always holds a
+#: :class:`~repro.obs.stitch.ClockSync` before it must rebase.
+_HANDSHAKE = "__clock_sync__"
 
 
 def _worker_main(
@@ -62,15 +72,20 @@ def _worker_main(
     With ``record_metrics`` the worker installs a fresh ambient
     :class:`~repro.obs.Observability` per task, so engine code running
     in the payload (Baum-Welch, decoding) records into it; the resulting
-    :class:`~repro.obs.MetricsSnapshot` travels back in the result tuple
-    for a master-side merge.  Spans stay worker-local for now — clocks
-    are per-process, so cross-process span stitching is a roadmap item.
+    :class:`~repro.obs.MetricsSnapshot` and the worker's span buffer
+    travel back in the result tuple.  Spans are recorded against this
+    process's own ``WallClock`` — the master rebases them onto its
+    clockline using the spawn-time handshake (:mod:`repro.obs.stitch`).
     """
     clock = WallClock()
     while True:
         item = inbox.get()
         if item is None:
             return
+        if item[0] == _HANDSHAKE:
+            _, master_sent = item
+            outbox.put((_HANDSHAKE, worker_name, master_sent, clock.now()))
+            continue
         task_id, job_id, payload_bytes = item
         worker_obs = (
             Observability(clock=clock, capacity=256) if record_metrics else None
@@ -82,7 +97,10 @@ def _worker_main(
             payload = pickle.loads(payload_bytes)
             if worker_obs is not None:
                 with using(worker_obs):
-                    output = payload() if payload is not None else None
+                    with worker_obs.tracer.span(
+                        "worker.task", task_id=task_id, job_id=job_id
+                    ):
+                        output = payload() if payload is not None else None
             else:
                 output = payload() if payload is not None else None
         except Exception as exc:  # deliberate: task errors are data
@@ -93,6 +111,7 @@ def _worker_main(
             error = TaskError.from_exception(exc)
             output_bytes = pickle.dumps(None)
         metrics: Optional[MetricsSnapshot] = None
+        spans: Optional[tuple] = None
         if worker_obs is not None:
             worker_obs.metrics.inc("worker.tasks")
             if error is not None:
@@ -101,6 +120,7 @@ def _worker_main(
                 "worker.task_seconds", clock.now() - start
             )
             metrics = worker_obs.metrics.snapshot()
+            spans = (tuple(worker_obs.tracer.events()), worker_obs.tracer.dropped)
         outbox.put(
             (
                 worker_name,
@@ -111,6 +131,7 @@ def _worker_main(
                 error,
                 metrics,
                 len(payload_bytes),
+                spans,
             )
         )
 
@@ -187,6 +208,7 @@ class ProcessWorkQueue:
         self._workers: list[_WorkerHandle] = []  # guarded-by: _lock
         self._completed: set[int] = set()  # guarded-by: _lock
         self._worker_serial = 0  # guarded-by: _lock
+        self._clock_sync: dict[str, ClockSync] = {}  # guarded-by: _lock
 
         # No other thread exists yet, so the initial spawn runs unlocked;
         # forking with the master lock held would stall the first submits.
@@ -293,6 +315,10 @@ class ProcessWorkQueue:
         )
         process.start()
         if self.obs.enabled:
+            # Clock-offset probe: first item through the inbox, so the
+            # reply reaches the master before any result from this
+            # worker ever needs rebasing.
+            inbox.put((_HANDSHAKE, self.obs.clock.now()))
             self.obs.metrics.inc("wq.worker_spawned")
             self.obs.tracer.instant(
                 "wq.worker_spawned", track="master", worker=name
@@ -341,9 +367,31 @@ class ProcessWorkQueue:
             self.obs.metrics.observe(
                 "wq.payload_bytes", len(payload_bytes), bounds=BYTE_BUCKETS
             )
+            # The master-side anchor of the happens-before relation the
+            # stitch test asserts: every rebased worker span starts at
+            # or after the dispatch instant that caused it.
+            self.obs.tracer.instant(
+                "wq.dispatch",
+                track="master",
+                worker=worker.name,
+                job_id=task.job_id,
+                task_id=task.task_id,
+            )
         return True
 
     def _handle_result(self, item: tuple) -> None:
+        if item[0] == _HANDSHAKE:
+            _, worker_name, master_sent, worker_reply = item
+            sync = ClockSync(
+                worker=worker_name,
+                master_sent=master_sent,
+                worker_reply=worker_reply,
+                master_received=self.obs.clock.now(),
+            )
+            with self._lock:
+                self._clock_sync[worker_name] = sync
+            self.obs.stitch[worker_name] = sync
+            return
         worker_name, task_id, job_id, output_bytes, wall_time, error = item[:6]
         with self._lock:
             if task_id in self._completed:
@@ -354,6 +402,7 @@ class ProcessWorkQueue:
                     worker.current = None
         metrics = item[6] if len(item) > 6 else None
         payload_nbytes = item[7] if len(item) > 7 else None
+        span_payload = item[8] if len(item) > 8 else None
         result_nbytes = len(output_bytes)
         if self.obs.enabled:
             self.obs.metrics.inc("wq.completed")
@@ -373,6 +422,8 @@ class ProcessWorkQueue:
             )
             if metrics is not None:
                 self.obs.metrics.merge(metrics)
+            if span_payload is not None:
+                self._stitch_spans(worker_name, span_payload)
         self._results.put(
             LocalResult(
                 task_id=task_id,
@@ -386,6 +437,38 @@ class ProcessWorkQueue:
                 result_bytes=result_nbytes,
             )
         )
+
+    def _stitch_spans(self, worker_name: str, span_payload: tuple) -> None:
+        """Rebase one worker's shipped spans onto the master timeline.
+
+        Runs on the supervisor thread after a result lands.  Without a
+        :class:`ClockSync` for the worker (tracing enabled mid-run, or a
+        lost handshake reply) the spans are dropped and counted rather
+        than recorded with meaningless timestamps.
+        """
+        events, worker_dropped = span_payload
+        with self._lock:
+            sync = self._clock_sync.get(worker_name)
+            if sync is not None and worker_dropped:
+                sync = dataclasses.replace(
+                    sync, dropped_spans=sync.dropped_spans + worker_dropped
+                )
+                self._clock_sync[worker_name] = sync
+        if sync is None:
+            self.obs.metrics.inc("wq.unstitched_spans", len(events))
+            return
+        self.obs.stitch[worker_name] = sync
+        for event in rebase_events(events, sync):
+            if event.kind == "instant":
+                self.obs.tracer.record_instant(
+                    event.name, event.start, track=event.track,
+                    **event.attr_dict(),
+                )
+            else:
+                self.obs.tracer.record_span(
+                    event.name, event.start, event.end, track=event.track,
+                    **event.attr_dict(),
+                )
 
     def _fail_or_requeue(self, task: Task, reason: str) -> None:  # holds-lock: _lock
         """Retry a task lost to a dead/timed-out worker; caller holds lock."""

@@ -10,6 +10,7 @@ from repro.obs import (
     HistogramSnapshot,
     MetricRegistry,
     MetricsSnapshot,
+    nearest_rank,
     percentile,
 )
 
@@ -156,6 +157,40 @@ class TestPercentile:
             percentile([1.0], 101)
         with pytest.raises(ValueError):
             percentile([1.0], -1)
+
+    def test_empty_samples_still_validate_q(self):
+        with pytest.raises(ValueError):
+            percentile([], 101)
+
+
+class TestNearestRank:
+    """The shared rank helper every percentile consumer agrees on."""
+
+    def test_extremes_pin_to_min_and_max(self):
+        assert nearest_rank(10, 0) == 1
+        assert nearest_rank(10, 100) == 10
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0, 1, 50, 99, 100):
+            assert nearest_rank(1, q) == 1
+
+    def test_median_of_even_count_rounds_up(self):
+        # ceil(50 * 4 / 100) = 2: nearest-rank picks a real sample.
+        assert nearest_rank(4, 50) == 2
+        assert nearest_rank(5, 50) == 3
+
+    def test_rank_never_exceeds_count(self):
+        assert nearest_rank(3, 99.9) == 3
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_rank(0, 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_rank(3, -0.1)
+        with pytest.raises(ValueError):
+            nearest_rank(3, 100.1)
 
 
 class TestThreadSafety:

@@ -1,0 +1,130 @@
+"""Clock-offset handshake math and event rebasing (repro.obs.stitch)."""
+
+import pytest
+
+from repro.obs import ClockSync, rebase_events, stitch_metadata
+from repro.obs.spans import SpanEvent
+
+
+def make_sync(**overrides) -> ClockSync:
+    values = dict(
+        worker="w0",
+        master_sent=10.0,
+        worker_reply=107.0,
+        master_received=10.4,
+    )
+    values.update(overrides)
+    return ClockSync(**values)
+
+
+class TestClockSyncMath:
+    def test_offset_is_midpoint_and_bounded_by_exchange(self):
+        sync = make_sync()
+        assert sync.rtt == pytest.approx(0.4)
+        assert sync.uncertainty == pytest.approx(0.2)
+        # theta is bounded to [w1 - t1, w1 - t0]; the midpoint sits
+        # exactly between the bounds.
+        low = sync.worker_reply - sync.master_received
+        high = sync.worker_reply - sync.master_sent
+        assert low <= sync.offset <= high
+        assert sync.offset == pytest.approx((low + high) / 2.0)
+
+    def test_rebase_uses_lower_bound_never_earlier_than_truth(self):
+        sync = make_sync()
+        assert sync.rebase_offset == pytest.approx(
+            sync.worker_reply - sync.master_received
+        )
+        # The worker replied at some master time inside [t0, t1], so
+        # rebasing w1 itself must land inside that window — at t1
+        # exactly, the latest (causality-safe) choice.
+        assert sync.rebase(sync.worker_reply) == pytest.approx(
+            sync.master_received
+        )
+
+    def test_negative_offset_worker_behind_master(self):
+        sync = make_sync(worker_reply=3.0)
+        assert sync.offset < 0
+        assert sync.rebase(3.0) == pytest.approx(10.4)
+
+    def test_reply_before_send_rejected(self):
+        with pytest.raises(ValueError):
+            make_sync(master_received=9.0)
+
+    def test_as_dict_is_json_shaped(self):
+        data = make_sync(dropped_spans=3).as_dict()
+        assert data == {
+            "offset": pytest.approx(96.8),
+            "rtt": pytest.approx(0.4),
+            "uncertainty": pytest.approx(0.2),
+            "rebase_offset": pytest.approx(96.6),
+            "dropped_spans": 3,
+        }
+
+
+class TestRebaseEvents:
+    def test_timestamps_shift_and_tracks_are_rewritten(self):
+        sync = make_sync()
+        events = [
+            SpanEvent(
+                name="worker.task",
+                kind="span",
+                start=107.5,
+                end=108.0,
+                track="main",
+                seq=0,
+                attrs=(("task_id", 1),),
+            ),
+            SpanEvent(
+                name="worker.gc",
+                kind="instant",
+                start=108.2,
+                end=108.2,
+                track="gc",
+                seq=1,
+            ),
+        ]
+        task, gc = rebase_events(events, sync)
+        assert task.start == pytest.approx(107.5 - sync.rebase_offset)
+        assert task.duration == pytest.approx(0.5)
+        assert task.track == "w0"
+        assert task.attrs == (("task_id", 1),)
+        assert gc.track == "w0/gc"
+        assert gc.start == gc.end
+
+    def test_rebased_span_never_precedes_dispatch(self):
+        """The acceptance property, in miniature.
+
+        The master dispatched at t0 = 10.0 and the worker started the
+        task after replying to the probe; whatever the true offset was,
+        the lower-bound rebase keeps the span at or after the dispatch.
+        """
+        sync = make_sync()
+        span = SpanEvent(
+            name="worker.task",
+            kind="span",
+            start=sync.worker_reply + 0.01,
+            end=sync.worker_reply + 0.2,
+            track="main",
+            seq=0,
+        )
+        (rebased,) = rebase_events([span], sync)
+        assert rebased.start >= sync.master_sent
+
+    def test_empty_events_yield_nothing(self):
+        assert list(rebase_events([], make_sync())) == []
+
+
+class TestStitchMetadata:
+    def test_sorted_by_worker_name(self):
+        syncs = {
+            "proc-worker-1": make_sync(worker="proc-worker-1"),
+            "proc-worker-0": make_sync(
+                worker="proc-worker-0", dropped_spans=2
+            ),
+        }
+        meta = stitch_metadata(syncs)
+        assert list(meta) == ["proc-worker-0", "proc-worker-1"]
+        assert meta["proc-worker-0"]["dropped_spans"] == 2
+
+    def test_empty_mapping(self):
+        assert stitch_metadata({}) == {}

@@ -102,3 +102,70 @@ class TestReplay:
         assert code == 0
         out = capsys.readouterr().out
         assert "claims tracked" in out
+
+
+class TestReplayController:
+    @pytest.fixture()
+    def trajectory(self, tmp_path):
+        from repro.control import PIDController, PIDGains, TrajectoryRecorder
+
+        path = tmp_path / "traj.jsonl"
+        with TrajectoryRecorder(path) as recorder:
+            pid = PIDController(
+                gains=PIDGains(kp=1.2, ki=0.3, kd=0.2),
+                name="pid:interval",
+                recorder=recorder,
+            )
+            for error in (0.5, -0.25, 0.125, -0.0625):
+                pid.update(error, dt=1.0)
+        return path
+
+    def test_recorded_gains_bit_identical(self, trajectory, capsys):
+        code = main(["replay-controller", str(trajectory)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "replayed 4 samples" in out
+
+    def test_modified_gains_diverge(self, trajectory, capsys):
+        code = main(["replay-controller", str(trajectory), "--kp", "2.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modified gains kp=2.5" in out
+        assert "bit-identical" not in out
+
+    def test_output_jsonl_written(self, trajectory, tmp_path):
+        import json
+
+        out_path = tmp_path / "steps.jsonl"
+        code = main(
+            ["replay-controller", str(trajectory), "--output", str(out_path)]
+        )
+        assert code == 0
+        steps = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        assert len(steps) == 4
+        assert all(
+            s["recorded_output"] == s["replayed_output"] for s in steps
+        )
+
+    def test_empty_trajectory_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["replay-controller", str(empty)])
+        assert code == 1
+        assert "no samples" in capsys.readouterr().err
+
+    def test_tampered_recording_detected(self, trajectory, capsys):
+        import json
+
+        lines = trajectory.read_text().splitlines()
+        sample = json.loads(lines[-1])
+        sample["output"] += 0.5  # forge the recorded output
+        lines[-1] = json.dumps(sample, sort_keys=True, separators=(",", ":"))
+        trajectory.write_text("\n".join(lines) + "\n")
+        code = main(["replay-controller", str(trajectory)])
+        assert code == 1
+        assert "diverged" in capsys.readouterr().err

@@ -78,3 +78,58 @@ class TestCapacityLimit:
     def test_max_workers_below_min_workers_rejected(self):
         with pytest.raises(ValueError):
             make_pool(uniform_pool(1, cores=4), min_workers=2, max_workers=1)
+
+
+class TestOscillationDamping:
+    """min_dwell suppresses direction reversals (latency-mode thrash)."""
+
+    def make_damped(self, min_dwell=10.0):
+        pool, condor = make_pool(uniform_pool(2, cores=4), min_dwell=min_dwell)
+        return pool, pool.simulator
+
+    def test_reversal_within_dwell_suppressed(self):
+        pool, sim = self.make_damped()
+        assert pool.scale_to(4) == 4
+        # A latency-fed target flipping straight back down is held.
+        assert pool.scale_to(3) == 4
+        assert pool.size == 4
+
+    def test_reversal_after_dwell_allowed(self):
+        pool, sim = self.make_damped(min_dwell=10.0)
+        pool.scale_to(4)
+        sim.run_for(10.0)
+        assert pool.scale_to(3) == 3
+
+    def test_same_direction_never_delayed(self):
+        pool, sim = self.make_damped()
+        pool.scale_to(3)
+        # Growing again immediately is fine — only reversals thrash.
+        assert pool.scale_to(5) == 5
+
+    def test_oscillating_controller_settles_instead_of_thrashing(self):
+        """Alternating up/down targets on consecutive ticks hold steady."""
+        pool, sim = self.make_damped(min_dwell=10.0)
+        pool.scale_to(4)
+        sizes = []
+        for tick in range(6):
+            sim.run_for(1.0)
+            target = 3 if tick % 2 == 0 else 4
+            sizes.append(pool.scale_to(target))
+        assert sizes == [4] * 6  # every reversal inside the window held
+
+    def test_zero_dwell_disables_damping(self):
+        pool, _ = make_pool(uniform_pool(2, cores=4), min_dwell=0.0)
+        assert pool.scale_to(4) == 4
+        assert pool.scale_to(3) == 3
+
+    def test_damped_growth_still_clamped_by_capacity(self):
+        pool, _ = make_pool(
+            uniform_pool(1, cores=4), min_dwell=10.0, max_workers=3
+        )
+        assert pool.scale_to(10) == 3
+        # The suppressed reversal keeps the clamped size, not the target.
+        assert pool.scale_by(-1) == 3
+
+    def test_negative_dwell_rejected(self):
+        with pytest.raises(ValueError):
+            make_pool(uniform_pool(1, cores=4), min_dwell=-1.0)

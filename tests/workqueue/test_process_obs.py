@@ -145,3 +145,66 @@ class TestDisabledPath:
             assert wq.obs.metrics.snapshot().counters == {}
         finally:
             wq.shutdown()
+
+
+class TestCrossProcessStitching:
+    """Worker spans are rebased onto the master clockline (PR 9).
+
+    The acceptance property: after the clock-offset handshake, every
+    rebased ``worker.task`` span starts at or after the master's
+    ``wq.dispatch`` instant for the same task — causality holds in the
+    merged timeline even though the two processes run separate clocks.
+    """
+
+    def test_rebased_worker_spans_follow_dispatch(self):
+        n_tasks = 6
+        wq = _make_wq(n_workers=2)
+        try:
+            for k in range(n_tasks):
+                wq.submit(Task(job_id=f"j{k}", fn=PayloadSpec(double, (k,))))
+            results = wq.drain(timeout=30.0)
+            assert sorted(r.output for r in results) == [
+                2 * k for k in range(n_tasks)
+            ]
+
+            events = wq.obs.tracer.events()
+            dispatches = {
+                e.attr_dict()["task_id"]: e
+                for e in events
+                if e.name == "wq.dispatch"
+            }
+            worker_spans = [e for e in events if e.name == "worker.task"]
+            assert len(dispatches) == n_tasks
+            assert len(worker_spans) == n_tasks
+
+            # Both workers were clock-synced at spawn...
+            assert sorted(wq.obs.stitch) == ["proc-worker-0", "proc-worker-1"]
+            for sync in wq.obs.stitch.values():
+                assert sync.rtt >= 0
+                assert sync.uncertainty >= 0
+            # ...and every span was stitched (none arrived pre-sync).
+            assert (
+                wq.obs.metrics.snapshot().counter("wq.unstitched_spans")
+                == 0.0
+            )
+
+            for span in worker_spans:
+                task_id = span.attr_dict()["task_id"]
+                dispatch = dispatches[task_id]
+                # Rebased tracks carry the worker name, and the rebased
+                # start never precedes the dispatch that caused it.
+                assert span.track == dispatch.attr_dict()["worker"]
+                assert span.start >= dispatch.start
+        finally:
+            wq.shutdown()
+
+    def test_worker_tracks_merged_into_master_timeline(self):
+        wq = _make_wq(n_workers=2)
+        try:
+            for k in range(4):
+                wq.submit(Task(job_id=f"j{k}", fn=PayloadSpec(double, (k,))))
+            wq.drain(timeout=30.0)
+            tracks = {e.track for e in wq.obs.tracer.events()}
+            assert {"proc-worker-0", "proc-worker-1"} <= tracks
+        finally:
+            wq.shutdown()
