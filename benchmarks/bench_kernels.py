@@ -1,0 +1,300 @@
+"""Kernel backends head to head — numpy reference vs fused numba loops.
+
+PR 10 moved the batched HMM time recursions behind the pluggable
+backend layer :mod:`repro.hmm.kernels`.  This benchmark measures what
+the compiled backend actually buys, at three levels:
+
+- **model ops** — wall time of ``fit`` / ``decode`` (Viterbi) /
+  ``state_posteriors`` on ragged stacks at several N x T x K shapes,
+  per backend, plus the numba-over-numpy speedup per shape;
+- **end to end** — ``SSTD.discover`` reports/second over a generated
+  trace with each backend forced via ``SSTDConfig.kernel``;
+- **threads scaling** — the same decode workload fanned over a thread
+  pool: the numba kernels run under ``nogil=True``, so this is the one
+  configuration where the ``threads`` backend stops being serialized
+  by CPU-bound Python (the numpy rows chart the GIL wall for
+  contrast).
+
+Backends are bit-identical by contract, and the benchmark re-asserts
+it on every timed shape before trusting the timings.
+
+Results land in ``BENCH_kernels.json`` at the repo root (consumed by
+``benchmarks/check_kernels.py``, the CI gate on the numba leg) and in
+``benchmarks/results/kernels.txt``.  Without numba installed the
+benchmark still runs and records the numpy columns — the JSON's
+``kernel.numba_available`` field tells the gate which case it is
+looking at.
+
+Knobs: ``REPRO_BENCH_SCALE`` scales the discover-trace report volume,
+``REPRO_BENCH_SEED`` the generator seed.  The op shapes are fixed so
+kernel timings stay comparable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sstd import SSTD, SSTDConfig
+from repro.hmm import BatchGaussianHMM, stack_ragged
+from repro.hmm.kernels import active_kernel_info, available_backends
+from repro.streams.events import PopulationConfig, ScenarioSpec
+from repro.streams.generator import GeneratorConfig, generate_trace
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, report_lines
+
+#: (n_seqs, t_max, n_states) stacks the model ops are timed on.  The
+#: first is the SSTD production shape (32 claims, ~360 grid points,
+#: 2-state truth chain); the others vary batch width and state count.
+SHAPES = ((32, 360, 2), (8, 64, 2), (64, 128, 3))
+REPEATS = 3
+EM_ITER = 10
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def _effective_cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _make_sequences(n: int, t: int, seed: int = 0) -> list[np.ndarray]:
+    """Ragged two-regime sequences (the SSTD workload shape)."""
+    rng = np.random.default_rng(seed)
+    sequences = []
+    for _ in range(n):
+        length = int(rng.integers(max(2, t // 2), t + 1))
+        flip = length // 2
+        sequences.append(
+            np.concatenate(
+                [
+                    rng.normal(-1.0, 0.3, size=flip),
+                    rng.normal(1.0, 0.3, size=length - flip),
+                ]
+            )
+        )
+    return sequences
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_model_ops(backend: str, n: int, t: int, k: int) -> dict:
+    """Best-of-N wall times for fit / decode / posteriors on one shape."""
+    observations, lengths, _ = stack_ragged(_make_sequences(n, t))
+
+    def fresh():
+        return BatchGaussianHMM(n, k, kernel=backend)
+
+    model = fresh()
+    model.fit(observations, lengths, max_iter=EM_ITER, seed=0)
+    emissions = model.emission_probabilities(observations)
+    timings = {
+        "fit_s": _best_of(
+            lambda: fresh().fit(
+                observations, lengths, max_iter=EM_ITER, seed=0
+            )
+        ),
+        "decode_s": _best_of(lambda: model.viterbi(emissions, lengths)),
+        "posteriors_s": _best_of(
+            lambda: model.state_posteriors(
+                observations, lengths, emissions=emissions
+            )
+        ),
+    }
+    timings["total_s"] = sum(timings.values())
+    return timings
+
+
+def _assert_shape_parity(n: int, t: int, k: int) -> None:
+    """Timings are only comparable if the outputs are the same bits."""
+    observations, lengths, _ = stack_ragged(_make_sequences(n, t))
+    outputs = {}
+    for backend in ("numpy", "numba"):
+        model = BatchGaussianHMM(n, k, kernel=backend)
+        model.fit(observations, lengths, max_iter=EM_ITER, seed=0)
+        emissions = model.emission_probabilities(observations)
+        states, joints = model.viterbi(emissions, lengths)
+        posteriors = model.state_posteriors(
+            observations, lengths, emissions=emissions
+        )
+        outputs[backend] = (model.means, states, joints, posteriors)
+    for ref, got in zip(outputs["numpy"], outputs["numba"]):
+        assert (ref == got).all(), f"backend mismatch at N{n}xT{t}xK{k}"
+
+
+def _discover_trace():
+    spec = ScenarioSpec(
+        name="Kernel Bench",
+        duration=6 * 3600.0,
+        n_reports=max(400, int(400_000 * BENCH_SCALE)),
+        n_claims=32,
+        claim_texts=("the road is closed", "the station is open"),
+        topic="bench",
+        mean_truth_flips=1.0,
+        claim_zipf_exponent=0.5,
+        population=PopulationConfig(
+            n_sources=max(50, int(20_000 * BENCH_SCALE))
+        ),
+    )
+    return generate_trace(
+        spec, seed=BENCH_SEED, config=GeneratorConfig(with_text=False)
+    )
+
+
+def _time_discover(reports, backend: str) -> dict:
+    engine = SSTD(SSTDConfig(kernel=backend))
+    engine.discover(reports)  # warm (JIT compile on the numba path)
+    wall = _best_of(lambda: SSTD(SSTDConfig(kernel=backend)).discover(reports))
+    return {"wall_s": round(wall, 4), "rps": round(len(reports) / wall, 1)}
+
+
+def _time_thread_pool(backend: str, workers: int, shards: int = 8) -> float:
+    """Decode ``shards`` independent stacks across a thread pool.
+
+    One stack per shard, all CPU-bound: with the GIL held (numpy
+    backend, or interpreted numba) adding threads cannot help; the
+    compiled nogil kernels let them run in parallel.
+    """
+    n, t, k = 16, 256, 2
+    stacks = []
+    for shard in range(shards):
+        observations, lengths, _ = stack_ragged(
+            _make_sequences(n, t, seed=shard)
+        )
+        model = BatchGaussianHMM(n, k, kernel=backend)
+        emissions = model.emission_probabilities(observations)
+        stacks.append((model, emissions, lengths))
+
+    def decode(item):
+        model, emissions, lengths = item
+        return model.viterbi(emissions, lengths)
+
+    for item in stacks:  # warm outside the timed region
+        decode(item)
+
+    def run():
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(decode, stacks))
+
+    return _best_of(run)
+
+
+def test_kernel_backends():
+    backends = available_backends()
+    info = active_kernel_info()
+    effective_cpus = _effective_cpu_count()
+
+    shapes: dict[str, dict] = {}
+    for n, t, k in SHAPES:
+        label = f"N{n}xT{t}xK{k}"
+        if "numba" in backends:
+            _assert_shape_parity(n, t, k)
+        entry = {
+            backend: {
+                key: round(value, 5)
+                for key, value in _time_model_ops(backend, n, t, k).items()
+            }
+            for backend in backends
+        }
+        if "numba" in backends:
+            entry["numba_over_numpy_speedup"] = round(
+                entry["numpy"]["total_s"] / entry["numba"]["total_s"], 2
+            )
+        shapes[label] = entry
+
+    trace = _discover_trace()
+    reports = list(trace.reports)
+    discover = {
+        backend: _time_discover(reports, backend) for backend in backends
+    }
+
+    pool_workers = min(4, effective_cpus) if effective_cpus >= 2 else None
+    threads_scaling: dict[str, object] = {}
+    if pool_workers:
+        threads_scaling["workers"] = pool_workers
+        for backend in backends:
+            serial = _time_thread_pool(backend, 1)
+            pooled = _time_thread_pool(backend, pool_workers)
+            threads_scaling[backend] = {
+                "serial_s": round(serial, 5),
+                "pooled_s": round(pooled, 5),
+                "speedup": round(serial / pooled, 2),
+            }
+
+    payload = {
+        "schema": 1,
+        "benchmark": "kernels",
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "cpu_count": os.cpu_count(),
+        "effective_cpu_count": effective_cpus,
+        "kernel": info,
+        "backends_measured": list(backends),
+        "em_iterations": EM_ITER,
+        "shapes": shapes,
+        "discover": {
+            "n_reports": len(reports),
+            **discover,
+        },
+        "threads_scaling": threads_scaling,
+    }
+    if "numba" in backends:
+        payload["kernel_speedup_min"] = min(
+            entry["numba_over_numpy_speedup"] for entry in shapes.values()
+        )
+        payload["discover_speedup"] = round(
+            discover["numba"]["rps"] / discover["numpy"]["rps"], 2
+        )
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        "HMM kernel backends — numpy reference vs fused numba loops",
+        f"backends: {', '.join(backends)} (auto resolves to "
+        f"{info['backend']}), numba {info['numba_version'] or 'absent'}, "
+        f"cpus={os.cpu_count()} (effective {effective_cpus})",
+        f"{'shape':>14}{'op':>12}"
+        + "".join(f"{b:>12}" for b in backends)
+        + ("   speedup" if "numba" in backends else ""),
+    ]
+    for label, entry in shapes.items():
+        for op in ("fit_s", "decode_s", "posteriors_s"):
+            row = f"{label:>14}{op[:-2]:>12}" + "".join(
+                f"{entry[b][op] * 1e3:>10.2f}ms" for b in backends
+            )
+            lines.append(row)
+        if "numba" in backends:
+            lines.append(
+                f"{label:>14}{'total':>12}"
+                + "".join(
+                    f"{entry[b]['total_s'] * 1e3:>10.2f}ms" for b in backends
+                )
+                + f"{entry['numba_over_numpy_speedup']:>9.2f}x"
+            )
+    lines.append(
+        "SSTD.discover: "
+        + ", ".join(
+            f"{b} {discover[b]['rps']:.0f} rps" for b in backends
+        )
+    )
+    if pool_workers:
+        lines.append(
+            f"threads-pool decode x{pool_workers}: "
+            + ", ".join(
+                f"{b} {threads_scaling[b]['speedup']:.2f}x" for b in backends
+            )
+            + "  (nogil kernels parallelize; GIL-bound numpy cannot)"
+        )
+    report_lines("kernels", lines)

@@ -30,6 +30,11 @@ default zero-copy path, and asserts the >= 10x reduction the data plane
 exists to deliver.  The perf-smoke gate holds ``zero_copy_per_task`` to
 a hard byte ceiling on every CI leg, single- or multi-core.
 
+Since PR 10 (schema 4) the payload records which HMM kernel backend
+(``repro.hmm.kernels``) the run resolved under the ``kernel`` key, so a
+baseline produced with the numba fast path is never compared against a
+numpy-fallback run without the difference being visible in both files.
+
 Knobs: ``REPRO_BENCH_SCALE`` scales report volume (CI smoke uses 0.01),
 ``REPRO_BENCH_SEED`` the generator seed.  The workload shape is fixed —
 32 claims over six hours (≈360 ACS grid points per claim) — so per-claim
@@ -43,6 +48,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.hmm.kernels import active_kernel_info
 from repro.obs import write_chrome_trace
 from repro.streams.events import PopulationConfig, ScenarioSpec
 from repro.streams.generator import GeneratorConfig, generate_trace
@@ -267,12 +273,13 @@ def test_parallel_backend_throughput():
     phases = _traced_run(reports, max_workers)
     batch_fit = _batch_fit_stats(reports, max_workers)
     payload = {
-        "schema": 3,
+        "schema": 4,
         "benchmark": "parallel_backend",
         "scale": BENCH_SCALE,
         "seed": BENCH_SEED,
         "cpu_count": os.cpu_count(),
         "effective_cpu_count": effective_cpus,
+        "kernel": active_kernel_info(),
         "n_reports": len(reports),
         "n_claims": N_CLAIMS,
         "worker_counts": list(WORKER_COUNTS),

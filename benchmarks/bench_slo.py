@@ -41,6 +41,7 @@ from repro.control import (
     load_trajectory,
     replay_trajectory,
 )
+from repro.hmm.kernels import active_kernel_info
 from repro.obs import percentile, stitch_metadata, write_chrome_trace
 from repro.streams.events import PopulationConfig, ScenarioSpec
 from repro.streams.generator import GeneratorConfig, generate_trace
@@ -198,6 +199,7 @@ def test_slo_feedback_vs_open_loop():
         "seed": BENCH_SEED,
         "cpu_count": os.cpu_count(),
         "effective_cpu_count": effective_cpus,
+        "kernel": active_kernel_info(),
         "n_reports": len(trace.reports),
         "n_claims": N_CLAIMS,
         "n_intervals": N_INTERVALS,

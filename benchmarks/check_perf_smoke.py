@@ -5,7 +5,10 @@ Compares a fresh ``BENCH_parallel.json`` (written by
 ``benchmarks/baselines/perf_smoke_baseline.json``.
 
 Baselines are schema 3: measurements live under ``legs``, keyed by the
-``effective_cpu_count`` they were recorded at, because a 1-core runner
+``effective_cpu_count`` they were recorded at.  (Current-run files are
+schema 4 — they additionally carry the resolved HMM ``kernel`` backend —
+but the gate reads the same keys from both.)  Legs exist because a
+1-core runner
 and a 4-core runner have *different* truths (on one core the process
 backend legitimately trails threads; on many cores it must beat them).
 The gate picks the leg matching the current run's effective cpu count —

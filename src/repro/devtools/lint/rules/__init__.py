@@ -18,10 +18,11 @@ Importing this package registers every rule with the engine registry:
 - ``SSTD012`` — the global lock-acquisition order is acyclic
   (whole-program deadlock detection; ``# lock-order: A < B``
   declarations sanction audited hierarchies);
-- ``SSTD013`` — kernel modules (``repro.hmm.batch``,
-  ``repro.hmm.utils``, ``repro.system.jobs``) never let set/dict-view
-  iteration order reach numeric accumulations or task ordering
-  (``# order-independent`` sanctions commutative exact reductions);
+- ``SSTD013`` — kernel modules (``repro.hmm.batch``, the
+  ``repro.hmm.kernels`` backends, ``repro.hmm.utils``,
+  ``repro.system.jobs``) never let set/dict-view iteration order reach
+  numeric accumulations or task ordering (``# order-independent``
+  sanctions commutative exact reductions);
 - ``SSTD014`` — acquired resources (shared-memory segments, work
   queues, executors, files) are released on every path, normal and
   exceptional; ``with``/``finally``-covered releases and ownership

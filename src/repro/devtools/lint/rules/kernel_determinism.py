@@ -13,8 +13,9 @@ directory listings, so the same discipline applies: make the order
 explicit.
 
 The rule only fires in the kernel modules (:data:`TARGET_MODULES` —
-``repro.hmm.batch``, ``repro.hmm.utils``, ``repro.system.jobs``);
-everywhere else set iteration is fine and linting it would be noise.
+``repro.hmm.batch``, ``repro.hmm.utils``, ``repro.system.jobs`` and the
+``repro.hmm.kernels`` backend package); everywhere else set iteration
+is fine and linting it would be noise.
 It flags:
 
 - ``for x in <set-like>`` whose body *accumulates* (any augmented
@@ -44,7 +45,14 @@ from repro.devtools.lint.engine import FileContext, Rule, register
 __all__ = ["KernelDeterminismRule", "TARGET_MODULES"]
 
 #: Modules whose outputs must be bit-reproducible across runs.
-TARGET_MODULES = ("repro.hmm.batch", "repro.hmm.utils", "repro.system.jobs")
+TARGET_MODULES = (
+    "repro.hmm.batch",
+    "repro.hmm.kernels",
+    "repro.hmm.kernels.numba_fast",
+    "repro.hmm.kernels.numpy_ref",
+    "repro.hmm.utils",
+    "repro.system.jobs",
+)
 
 ORDER_INDEPENDENT_RE = re.compile(r"#\s*order-independent\b")
 

@@ -32,6 +32,12 @@ Semantics are pinned to the per-claim path:
 Only the time recursions are batched; initialisation and the emission
 M-step replicate :class:`~repro.hmm.gaussian.GaussianHMM` line for line
 (tested against it) because they are O(N) per iteration, not O(N * T).
+
+The time recursions themselves execute through a pluggable kernel layer
+(:mod:`repro.hmm.kernels`): the ``numpy`` reference backend (the einsum
+recursions) or the ``numba`` backend (each whole recursion fused into
+one compiled, GIL-free loop).  Backends are bit-identical — selection
+(``kernel=`` / ``REPRO_KERNEL``) never changes a result, only its cost.
 """
 
 from __future__ import annotations
@@ -41,10 +47,12 @@ import numpy as np
 from repro.devtools import contracts
 from repro.hmm.base import FitResult, _record_fit
 from repro.hmm.gaussian import MIN_VARIANCE, GaussianHMM
+from repro.hmm.kernels import resolve_kernel
 from repro.hmm.utils import (
     PROB_FLOOR,
     batch_normal_densities,
     log_mask_zero,
+    masked_row_sums,
     normalize_rows,
 )
 
@@ -117,6 +125,11 @@ class BatchGaussianHMM:
 
     Observations are ``(N, T)`` stacks; pass ``lengths`` (sorted
     descending) for ragged stacks, else every row spans the full T.
+
+    ``kernel`` picks the backend running the time recursions (``None``
+    defers to ``REPRO_KERNEL``, default ``auto`` — see
+    :func:`repro.hmm.kernels.resolve_kernel`); the resolved backend is
+    exposed as :attr:`kernel_name`.
     """
 
     def __init__(
@@ -127,6 +140,7 @@ class BatchGaussianHMM:
         transmat: np.ndarray | None = None,
         means: np.ndarray | None = None,
         variances: np.ndarray | None = None,
+        kernel: str | None = None,
     ) -> None:
         if n_seqs < 1:
             raise ValueError(f"n_seqs must be >= 1, got {n_seqs}")
@@ -134,6 +148,8 @@ class BatchGaussianHMM:
             raise ValueError(f"n_states must be >= 1, got {n_states}")
         self.n_seqs = n_seqs
         self.n_states = n_states
+        self._requested_kernel = kernel
+        self._ops = resolve_kernel(kernel, n_states=n_states)
         if startprob is None:
             startprob = np.full(n_states, 1.0 / n_states)
         if transmat is None:
@@ -202,14 +218,10 @@ class BatchGaussianHMM:
                 )
         return observations, lengths
 
-    @staticmethod
-    def _active_counts(lengths: np.ndarray, t_max: int) -> np.ndarray:
-        """``counts[t]`` = rows whose sequence extends past timestep t.
-
-        Rows are sorted by length descending, so the active rows at any
-        timestep form a prefix of the stack.
-        """
-        return (lengths[:, None] > np.arange(t_max)[None, :]).sum(axis=0)
+    @property
+    def kernel_name(self) -> str:
+        """The resolved kernel backend running this model's recursions."""
+        return self._ops.name
 
     def emission_probabilities(self, observations: np.ndarray) -> np.ndarray:
         """Emission stack ``(N, T, K)``; NaN rows get likelihood 1."""
@@ -233,44 +245,14 @@ class BatchGaussianHMM:
         Returns ``(alpha, scales, log_likelihoods)``; padded cells hold
         the neutral values ``1/K`` / ``1.0`` and are never read by the
         recursions.  Log-likelihoods are summed per row over the row's
-        own slice, so they match the per-claim pass bit for bit.
+        own slice (:func:`~repro.hmm.utils.masked_row_sums` groups rows
+        of equal length into one vectorized reduction), so they match
+        the per-claim pass bit for bit.
         """
-        n_seqs, t_max, k = emissions.shape
-        counts = self._active_counts(lengths, t_max)
-        alpha = np.full((n_seqs, t_max, k), 1.0 / k)
-        scales = np.ones((n_seqs, t_max))
-        first = self.startprob * emissions[:, 0, :]
-        total = first.sum(axis=1)
-        dead = total == 0
-        alpha[:, 0, :] = np.where(
-            dead[:, None], 1.0 / k, first / np.where(dead, 1.0, total)[:, None]
+        alpha, scales = self._ops.forward(
+            self.startprob, self.transmat, emissions, lengths
         )
-        scales[:, 0] = np.where(dead, PROB_FLOOR, total)
-        for t in range(1, t_max):
-            m = counts[t]
-            if m == 0:
-                break
-            nxt = (
-                np.einsum(
-                    "nk,nkj->nj", alpha[:m, t - 1, :], self.transmat[:m]
-                )
-                * emissions[:m, t, :]
-            )
-            total = nxt.sum(axis=1)
-            dead = total == 0
-            alpha[:m, t, :] = np.where(
-                dead[:, None],
-                1.0 / k,
-                nxt / np.where(dead, 1.0, total)[:, None],
-            )
-            scales[:m, t] = np.where(dead, PROB_FLOOR, total)
-        log_scales = log_mask_zero(scales)
-        log_likelihoods = np.array(
-            [
-                float(log_scales[row, : lengths[row]].sum())
-                for row in range(n_seqs)
-            ]
-        )
+        log_likelihoods = masked_row_sums(log_mask_zero(scales), lengths)
         return alpha, scales, log_likelihoods
 
     def backward(
@@ -280,21 +262,7 @@ class BatchGaussianHMM:
         lengths: np.ndarray,
     ) -> np.ndarray:
         """Scaled backward pass matching :meth:`forward`'s scaling."""
-        n_seqs, t_max, k = emissions.shape
-        counts = self._active_counts(lengths, t_max)
-        beta = np.ones((n_seqs, t_max, k))
-        for t in range(t_max - 2, -1, -1):
-            # Rows whose final timestep is t+1 keep beta[t+1] = 1; the
-            # recursion only applies where the sequence extends past t+1.
-            m = counts[t + 1]
-            if m == 0:
-                continue
-            tail = emissions[:m, t + 1, :] * beta[:m, t + 1, :]
-            beta[:m, t, :] = (
-                np.einsum("nij,nj->ni", self.transmat[:m], tail)
-                / scales[:m, t + 1][:, None]
-            )
-        return beta
+        return self._ops.backward(self.transmat, emissions, scales, lengths)
 
     def viterbi(
         self,
@@ -306,44 +274,16 @@ class BatchGaussianHMM:
         Returns ``(states, log_joints)``: ``states[n, :lengths[n]]`` is
         row n's most probable hidden path (padding is 0) and
         ``log_joints[n]`` its joint log-probability.
+
+        The log transforms stay here (``repro.hmm.utils`` is the
+        sanctioned home for them) so both kernel backends receive
+        identical log-space inputs — transcendental bit-portability is
+        never the backends' problem.
         """
-        n_seqs, t_max, k = emissions.shape
-        counts = self._active_counts(lengths, t_max)
         log_emissions = log_mask_zero(np.maximum(emissions, 0.0))
         log_trans = log_mask_zero(self.transmat)
         log_start = log_mask_zero(self.startprob)
-
-        delta = np.zeros((n_seqs, t_max, k))
-        backpointer = np.zeros((n_seqs, t_max, k), dtype=int)
-        delta[:, 0, :] = log_start + log_emissions[:, 0, :]
-        for t in range(1, t_max):
-            m = counts[t]
-            if m == 0:
-                break
-            # candidates[n, i, j] = delta[n, t-1, i] + log A_n[i, j]
-            candidates = delta[:m, t - 1, :, None] + log_trans[:m]
-            best = np.argmax(candidates, axis=1)
-            backpointer[:m, t, :] = best
-            delta[:m, t, :] = (
-                np.take_along_axis(candidates, best[:, None, :], axis=1)[
-                    :, 0, :
-                ]
-                + log_emissions[:m, t, :]
-            )
-
-        rows = np.arange(n_seqs)
-        last = lengths - 1
-        states = np.zeros((n_seqs, t_max), dtype=int)
-        states[rows, last] = np.argmax(delta[rows, last, :], axis=1)
-        for t in range(t_max - 2, -1, -1):
-            m = counts[t + 1]
-            if m == 0:
-                continue
-            states[:m, t] = backpointer[
-                np.arange(m), t + 1, states[:m, t + 1]
-            ]
-        log_joints = delta[rows, last, states[rows, last]]
-        return states, log_joints
+        return self._ops.viterbi(log_start, log_trans, log_emissions, lengths)
 
     def filter_states(self, alpha: np.ndarray) -> np.ndarray:
         """Online state estimates: per-row ``argmax_i alpha[n, t, i]``."""
@@ -486,26 +426,15 @@ class BatchGaussianHMM:
                 transmat=self.transmat[active],
                 means=self.means[active],
                 variances=self.variances[active],
+                kernel=self._requested_kernel,
             )
             emissions = sub.emission_probabilities(obs_a)
             alpha, scales, log_likelihoods = sub.forward(emissions, len_a)
             beta = sub.backward(emissions, scales, len_a)
             gamma = normalize_rows(alpha * beta)
-
-            # xi[n, i, j]: elementwise product is batched, the
-            # order-sensitive time reduction runs on each row's own
-            # contiguous slice (bit-equal to the per-claim sum).
-            if t_max > 1:
-                xi_num = (
-                    alpha[:, :-1, :, None]
-                    * sub.transmat[:, None, :, :]
-                    * (emissions[:, 1:, :] * beta[:, 1:, :])[:, :, None, :]
-                )
-            xi_sum = np.zeros((active.size, k, k))
-            for idx in range(active.size):
-                steps = int(len_a[idx]) - 1
-                if steps > 0:
-                    xi_sum[idx] = xi_num[idx, :steps].sum(axis=0)
+            xi_sum = sub._ops.estep_xi_sum(
+                sub.transmat, emissions, alpha, beta, len_a
+            )
 
             # M-step (chain parameters batched, emissions per row).
             self.startprob[active] = normalize_rows(

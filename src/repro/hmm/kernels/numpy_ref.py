@@ -1,0 +1,206 @@
+"""Reference numpy kernels for the batched HMM time recursions.
+
+These free functions are the einsum recursions that used to live inline
+in :class:`repro.hmm.batch.BatchGaussianHMM`, extracted unchanged so a
+compiled backend (:mod:`repro.hmm.kernels.numba_fast`) can slot in
+behind the same signatures.  They are the *semantic definition* of every
+kernel op: any other backend must reproduce their outputs **bit for
+bit** (see the accumulation-order notes below and the parity suite in
+``tests/hmm/test_kernels.py``).
+
+Accumulation-order contract
+---------------------------
+Floating-point addition is not associative, so bit-identity across
+backends requires pinning the order every reduction runs in:
+
+- ``einsum("nk,nkj->nj", ...)`` contracts ``k``, which is *strided* in
+  the ``(N, K, K)`` transition stack, so numpy takes its scalar inner
+  loop: a plain sequential accumulation in ``k`` order.  A compiled
+  ``for k in range(K): acc += ...`` loop matches it exactly.
+- The backward step is written as an elementwise product followed by
+  ``.sum(axis=2)`` rather than ``einsum("nij,nj->ni", ...)``: a
+  contraction over a *contiguous* axis takes numpy's SIMD
+  partial-sum path, whose grouping is neither sequential nor portable
+  to a compiled loop.  A last-axis ``.sum()`` uses pairwise summation,
+  which degenerates to sequential accumulation for fewer than 8
+  elements — hence the ``n_states < 8`` bound
+  (:data:`repro.hmm.kernels.MAX_BITWISE_STATES`) under which backends
+  are interchangeable.  At ``n_states == 2`` (the SSTD truth chain)
+  the rewrite is bit-identical to the einsum it replaced.
+- Per-row time reductions (the xi sums) reduce over a *leading* axis,
+  which numpy accumulates slice by slice — sequential in ``t``.
+
+Padded cells hold neutral values (``1/K`` in ``alpha``, ``1.0`` in
+``scales`` / ``beta``, ``0`` states) and are never read by a recursion;
+rows must be sorted by length descending (see
+:func:`repro.hmm.batch.stack_ragged`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmm.utils import PROB_FLOOR
+
+__all__ = [
+    "active_counts",
+    "backward",
+    "estep_xi_sum",
+    "forward",
+    "viterbi",
+]
+
+
+def active_counts(lengths: np.ndarray, t_max: int) -> np.ndarray:
+    """``counts[t]`` = rows whose sequence extends past timestep ``t``.
+
+    Rows are sorted by length descending, so the active rows at any
+    timestep form a prefix of the stack.
+    """
+    return (lengths[:, None] > np.arange(t_max)[None, :]).sum(axis=0)
+
+
+def forward(
+    startprob: np.ndarray,
+    transmat: np.ndarray,
+    emissions: np.ndarray,
+    lengths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scaled forward pass over the stack.
+
+    Returns ``(alpha, scales)``; a timestep whose total probability
+    underflows to zero is rescued with a uniform ``alpha`` row and a
+    ``PROB_FLOOR`` scale, exactly like the per-claim pass.  The per-row
+    log-likelihood is ``log(scales[row, :lengths[row]]).sum()``,
+    computed by the caller (:meth:`BatchGaussianHMM.forward`).
+    """
+    n_seqs, t_max, k = emissions.shape
+    counts = active_counts(lengths, t_max)
+    alpha = np.full((n_seqs, t_max, k), 1.0 / k)
+    scales = np.ones((n_seqs, t_max))
+    first = startprob * emissions[:, 0, :]
+    total = first.sum(axis=1)
+    dead = total == 0
+    alpha[:, 0, :] = np.where(
+        dead[:, None], 1.0 / k, first / np.where(dead, 1.0, total)[:, None]
+    )
+    scales[:, 0] = np.where(dead, PROB_FLOOR, total)
+    for t in range(1, t_max):
+        m = counts[t]
+        if m == 0:
+            break
+        nxt = (
+            np.einsum("nk,nkj->nj", alpha[:m, t - 1, :], transmat[:m])
+            * emissions[:m, t, :]
+        )
+        total = nxt.sum(axis=1)
+        dead = total == 0
+        alpha[:m, t, :] = np.where(
+            dead[:, None],
+            1.0 / k,
+            nxt / np.where(dead, 1.0, total)[:, None],
+        )
+        scales[:m, t] = np.where(dead, PROB_FLOOR, total)
+    return alpha, scales
+
+
+def backward(
+    transmat: np.ndarray,
+    emissions: np.ndarray,
+    scales: np.ndarray,
+    lengths: np.ndarray,
+) -> np.ndarray:
+    """Scaled backward pass matching :func:`forward`'s scaling."""
+    n_seqs, t_max, k = emissions.shape
+    counts = active_counts(lengths, t_max)
+    beta = np.ones((n_seqs, t_max, k))
+    for t in range(t_max - 2, -1, -1):
+        # Rows whose final timestep is t+1 keep beta[t+1] = 1; the
+        # recursion only applies where the sequence extends past t+1.
+        m = counts[t + 1]
+        if m == 0:
+            continue
+        tail = emissions[:m, t + 1, :] * beta[:m, t + 1, :]
+        # Contract j over the last axis with an elementwise product +
+        # .sum(axis=2): sequential in j below 8 states (see module
+        # docstring), unlike einsum's SIMD contiguous-contraction path.
+        beta[:m, t, :] = (transmat[:m] * tail[:, None, :]).sum(axis=2) / (
+            scales[:m, t + 1][:, None]
+        )
+    return beta
+
+
+def viterbi(
+    log_startprob: np.ndarray,
+    log_transmat: np.ndarray,
+    log_emissions: np.ndarray,
+    lengths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched log-space Viterbi with backtrace.
+
+    Inputs are already in log space (``log_mask_zero`` lives with the
+    caller so this module stays free of transcendental math).  Returns
+    ``(states, log_joints)``: ``states[n, :lengths[n]]`` is row n's most
+    probable hidden path (padding is 0) and ``log_joints[n]`` its joint
+    log-probability.  Ties take the lowest state index, matching
+    ``np.argmax``.
+    """
+    n_seqs, t_max, k = log_emissions.shape
+    counts = active_counts(lengths, t_max)
+    delta = np.zeros((n_seqs, t_max, k))
+    backpointer = np.zeros((n_seqs, t_max, k), dtype=int)
+    delta[:, 0, :] = log_startprob + log_emissions[:, 0, :]
+    for t in range(1, t_max):
+        m = counts[t]
+        if m == 0:
+            break
+        # candidates[n, i, j] = delta[n, t-1, i] + log A_n[i, j]
+        candidates = delta[:m, t - 1, :, None] + log_transmat[:m]
+        best = np.argmax(candidates, axis=1)
+        backpointer[:m, t, :] = best
+        delta[:m, t, :] = (
+            np.take_along_axis(candidates, best[:, None, :], axis=1)[:, 0, :]
+            + log_emissions[:m, t, :]
+        )
+
+    rows = np.arange(n_seqs)
+    last = lengths - 1
+    states = np.zeros((n_seqs, t_max), dtype=int)
+    states[rows, last] = np.argmax(delta[rows, last, :], axis=1)
+    for t in range(t_max - 2, -1, -1):
+        m = counts[t + 1]
+        if m == 0:
+            continue
+        states[:m, t] = backpointer[np.arange(m), t + 1, states[:m, t + 1]]
+    log_joints = delta[rows, last, states[rows, last]]
+    return states, log_joints
+
+
+def estep_xi_sum(
+    transmat: np.ndarray,
+    emissions: np.ndarray,
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    lengths: np.ndarray,
+) -> np.ndarray:
+    """Baum-Welch xi sufficient statistic, summed over each row's steps.
+
+    ``xi_sum[n, i, j] = sum_t alpha[n,t,i] * A[n,i,j] * em[n,t+1,j] *
+    beta[n,t+1,j]`` over ``t in [0, lengths[n] - 1)``.  The elementwise
+    product is batched; the order-sensitive time reduction runs on each
+    row's own contiguous slice (bit-equal to the per-claim sum: a
+    leading-axis ``.sum`` accumulates sequentially in ``t``).
+    """
+    n_seqs, t_max, k = emissions.shape
+    if t_max > 1:
+        xi_num = (
+            alpha[:, :-1, :, None]
+            * transmat[:, None, :, :]
+            * (emissions[:, 1:, :] * beta[:, 1:, :])[:, :, None, :]
+        )
+    xi_sum = np.zeros((n_seqs, k, k))
+    for idx in range(n_seqs):
+        steps = int(lengths[idx]) - 1
+        if steps > 0:
+            xi_sum[idx] = xi_num[idx, :steps].sum(axis=0)
+    return xi_sum

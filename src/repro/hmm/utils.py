@@ -17,6 +17,7 @@ __all__ = [
     "PROB_FLOOR",
     "batch_normal_densities",
     "log_mask_zero",
+    "masked_row_sums",
     "normal_densities",
     "normal_log_densities",
     "normalize_rows",
@@ -43,6 +44,44 @@ def normalize_rows(matrix: np.ndarray) -> np.ndarray:
     n = matrix.shape[-1]
     out = np.where(sums > 0, matrix / np.where(sums > 0, sums, 1.0), 1.0 / n)
     return out
+
+
+def masked_row_sums(matrix: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-row sums over each row's first ``lengths[row]`` entries.
+
+    Vectorized replacement for the per-row Python loop
+    ``[matrix[row, :lengths[row]].sum() for row in range(n)]`` with a
+    **bit-identity guarantee**: rows are grouped by equal length and
+    each group reduced with one ``block[:, :length].sum(axis=1)`` call.
+    numpy's pairwise summation partitions additions by the *reduction
+    length*, so summing a row's exact prefix reproduces the per-row
+    call's accumulation order (and therefore its bits) — unlike a
+    zero-padded full-row masked sum, whose pairwise tree depends on the
+    padded width and silently reorders the real additions.  Because
+    each row's result depends only on its own ``lengths[row]`` entries,
+    the value is also independent of batch composition (the shard
+    determinism contract of :mod:`repro.hmm.batch`).
+
+    Rows may appear in any length order; zero-length rows sum to 0.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    lengths = np.asarray(lengths, dtype=int)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if lengths.shape != (matrix.shape[0],):
+        raise ValueError(
+            f"lengths must have shape ({matrix.shape[0]},), "
+            f"got {lengths.shape}"
+        )
+    if (lengths < 0).any() or (lengths > matrix.shape[1]).any():
+        raise ValueError("lengths must be in [0, T]")
+    sums = np.zeros(matrix.shape[0])
+    for length in np.unique(lengths):
+        if length == 0:
+            continue
+        rows = lengths == length
+        sums[rows] = matrix[rows, : int(length)].sum(axis=1)
+    return sums
 
 
 def normalize_vector(vector: np.ndarray) -> np.ndarray:

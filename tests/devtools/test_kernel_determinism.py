@@ -150,6 +150,9 @@ class TestSanctions:
     def test_target_modules_are_the_kernel_surface(self):
         assert TARGET_MODULES == (
             "repro.hmm.batch",
+            "repro.hmm.kernels",
+            "repro.hmm.kernels.numba_fast",
+            "repro.hmm.kernels.numpy_ref",
             "repro.hmm.utils",
             "repro.system.jobs",
         )
